@@ -1,0 +1,51 @@
+//! Criterion benches for the HBM simulator: open-loop streams at the
+//! two extremes (streaming vs channel-pinned) and the closed-loop
+//! in-order path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdam_hbm::{Geometry, HardwareAddr, Hbm, Timing};
+
+fn stride_stream(geom: Geometry, stride: u64, n: u64) -> Vec<sdam_hbm::DecodedAddr> {
+    (0..n)
+        .map(|i| geom.decode(HardwareAddr(i * stride * 64)))
+        .collect()
+}
+
+fn bench_open_loop(c: &mut Criterion) {
+    let geom = Geometry::hbm2_8gb();
+    let streaming = stride_stream(geom, 1, 16_384);
+    let pinned = stride_stream(geom, 32, 16_384);
+
+    let mut g = c.benchmark_group("open_loop_16k");
+    g.bench_function("stride1", |b| {
+        b.iter(|| {
+            let mut hbm = Hbm::new(geom, Timing::hbm2());
+            black_box(hbm.run_open_loop(streaming.iter().copied()))
+        })
+    });
+    g.bench_function("stride32_pinned", |b| {
+        b.iter(|| {
+            let mut hbm = Hbm::new(geom, Timing::hbm2());
+            black_box(hbm.run_open_loop(pinned.iter().copied()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let geom = Geometry::hbm2_8gb();
+    let stream = stride_stream(geom, 3, 16_384);
+    c.bench_function("in_order_service_16k", |b| {
+        b.iter(|| {
+            let mut hbm = Hbm::new(geom, Timing::hbm2());
+            let mut t = 0;
+            for &a in &stream {
+                t = hbm.service(a, t);
+            }
+            black_box(t)
+        })
+    });
+}
+
+criterion_group!(benches, bench_open_loop, bench_closed_loop);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the address-mapping datapath: the AMU crossbar
+//! (bit shuffle), the XOR hash, and the two-level CMT lookup.
+//!
+//! The paper's latency argument (§5.3) is that the CMT + AMU path is
+//! negligible next to the >130 ns HBM access; these benches put numbers
+//! on our model's software datapath.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdam_hbm::Geometry;
+use sdam_mapping::{
+    select, AddressMapping, BitPermutation, Cmt, HashMapping, IdentityMapping, MappingId, PhysAddr,
+};
+
+fn bench_mappings(c: &mut Criterion) {
+    let geom = Geometry::hbm2_8gb();
+    let identity = IdentityMapping;
+    let shuffle = select::shuffle_for_stride(16, geom);
+    let hash = HashMapping::for_geometry(geom);
+    let addrs: Vec<PhysAddr> = (0..1024u64).map(|i| PhysAddr(i * 4096 + 64)).collect();
+
+    let mut g = c.benchmark_group("map_1k_addrs");
+    g.bench_function("identity", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(identity.map(a));
+            }
+        })
+    });
+    g.bench_function("bit_shuffle", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(shuffle.map(a));
+            }
+        })
+    });
+    g.bench_function("xor_hash", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(hash.map(a));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_cmt(c: &mut Criterion) {
+    let mut cmt = Cmt::new(33, 21);
+    let mut table: Vec<u32> = (0..15).collect();
+    table.swap(0, 5);
+    cmt.register(MappingId(1), &BitPermutation::new(6, table).unwrap());
+    for chunk in 0..cmt.num_chunks() {
+        if chunk % 2 == 0 {
+            cmt.assign_chunk(chunk, MappingId(1)).unwrap();
+        }
+    }
+    let addrs: Vec<PhysAddr> = (0..1024u64)
+        .map(|i| PhysAddr(i * 1_000_003 % (1 << 33)))
+        .collect();
+    c.bench_function("cmt_translate_1k", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cmt.translate(a));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_mappings, bench_cmt);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the end-to-end pipeline: a full
+//! profile → select → allocate → execute run at tiny scale, per
+//! configuration family.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdam::{pipeline, profiling, Experiment, SystemConfig};
+use sdam_workloads::datacopy::DataCopy;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let exp = Experiment::quick();
+    let w = DataCopy::new(vec![1, 16]);
+    let mut g = c.benchmark_group("end_to_end_datacopy");
+    g.sample_size(10);
+    for config in [
+        SystemConfig::BsDm,
+        SystemConfig::BsHm,
+        SystemConfig::SdmBsm,
+        SystemConfig::SdmBsmMl { clusters: 4 },
+    ] {
+        g.bench_function(config.to_string(), |b| {
+            b.iter(|| black_box(pipeline::run(&w, config, &exp)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiling_pass(c: &mut Criterion) {
+    let exp = Experiment::quick();
+    let w = DataCopy::new(vec![1, 16]);
+    let mut g = c.benchmark_group("profiling");
+    g.sample_size(10);
+    g.bench_function("two_pass_profile", |b| {
+        b.iter(|| black_box(profiling::profile_on_baseline(&w, &exp)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_profiling_pass);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 1: HBM throughput vs number of channels (CLP) and vs
+//! row-buffer hit rate (RLP).
+//!
+//! Paper's claim: throughput scales ~linearly with the number of
+//! utilized channels and only sub-linearly with row-buffer utilization.
+
+use sdam_bench::{gbps, header, row};
+use sdam_hbm::{DecodedAddr, Geometry, Hbm, Timing};
+
+fn stream_on_channels(geom: Geometry, channels: u64, n: u64) -> Vec<DecodedAddr> {
+    let cols = 1u64 << geom.col_bits();
+    (0..n)
+        .map(|i| {
+            let ch = i % channels;
+            let within = i / channels;
+            geom.decode(geom.encode(within / cols, 0, ch, within % cols))
+        })
+        .collect()
+}
+
+/// A single-channel stream whose row-buffer hit rate is
+/// `(cols_per_row - 1) / cols_per_row`.
+fn stream_with_row_hits(geom: Geometry, cols_per_row: u64, n: u64) -> Vec<DecodedAddr> {
+    (0..n)
+        .map(|i| geom.decode(geom.encode(i / cols_per_row, 0, 0, i % cols_per_row)))
+        .collect()
+}
+
+fn main() {
+    let geom = Geometry::hbm2_8gb();
+    let n = 65_536u64;
+
+    header("Fig. 1(a): throughput vs utilized channels (CLP)");
+    row(&["channels".into(), "GB/s".into(), "scaling".into()]);
+    let mut base = 0.0;
+    for k in [1u64, 2, 4, 8, 16, 32] {
+        let mut hbm = Hbm::new(geom, Timing::hbm2());
+        let stats = hbm.run_open_loop(stream_on_channels(geom, k, n));
+        let t = stats.throughput_gbps();
+        if k == 1 {
+            base = t;
+        }
+        row(&[k.to_string(), gbps(t), format!("{:.1}x", t / base)]);
+    }
+    println!("paper: linear scaling with channel count");
+
+    header("Fig. 1(b): throughput vs row-buffer hit rate (RLP), 1 channel / 1 bank");
+    // Bank hashing is disabled here so the stream really exercises one
+    // bank — RLP in isolation, as the paper's microbenchmark does.
+    row(&[
+        "cols/row".into(),
+        "hit-rate".into(),
+        "GB/s".into(),
+        "scaling".into(),
+    ]);
+    let mut base = 0.0;
+    for cols in [1u64, 2, 4] {
+        let mut hbm = Hbm::new(geom, Timing::hbm2()).without_bank_hash();
+        let stats = hbm.run_open_loop(stream_with_row_hits(geom, cols, n));
+        let t = stats.throughput_gbps();
+        if cols == 1 {
+            base = t;
+        }
+        row(&[
+            cols.to_string(),
+            format!("{:.2}", stats.row_hit_rate().unwrap_or(0.0)),
+            gbps(t),
+            format!("{:.1}x", t / base),
+        ]);
+    }
+    println!(
+        "paper: sub-linear scaling with row-buffer utilization (x-fold more \
+         columns gives less than x-fold throughput)"
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 3: (a) HBM throughput vs stride under the default mapping;
+//! (b) the bit-flip-rate distribution for each stride.
+//!
+//! Paper: throughput drops ~20x from stride 1 to 16; the flip-rate peak
+//! moves toward higher bits as the stride grows, so the optimal channel
+//! bits move with it.
+
+use sdam_bench::{gbps, header, row};
+use sdam_hbm::{Geometry, HardwareAddr, Hbm, Timing};
+use sdam_mapping::BitFlipRateVector;
+
+fn main() {
+    let geom = Geometry::hbm2_8gb();
+    let n = 65_536u64;
+
+    header("Fig. 3(a): throughput vs stride, default mapping");
+    row(&[
+        "stride".into(),
+        "GB/s".into(),
+        "chans".into(),
+        "vs stride-1".into(),
+    ]);
+    let mut t1 = 0.0;
+    for stride in [1u64, 2, 4, 8, 16, 32] {
+        let mut hbm = Hbm::new(geom, Timing::hbm2());
+        let stats = hbm.run_open_loop((0..n).map(|i| geom.decode(HardwareAddr(i * stride * 64))));
+        let t = stats.throughput_gbps();
+        if stride == 1 {
+            t1 = t;
+        }
+        row(&[
+            stride.to_string(),
+            gbps(t),
+            stats.channels_touched().to_string(),
+            format!("1/{:.1}", t1 / t),
+        ]);
+    }
+    println!("paper: ~20x drop by stride 16; stride 32 uses a single channel");
+
+    header("Fig. 3(b): bit-flip rate per hardware-address bit");
+    let bits: Vec<u32> = (6..16).collect();
+    let mut head = vec!["stride".to_string()];
+    head.extend(bits.iter().map(|b| format!("b{b}")));
+    row(&head);
+    for stride in [1u64, 2, 4, 8, 16] {
+        let bfrv =
+            BitFlipRateVector::from_addrs((0..4096u64).map(|i| i * stride * 64), geom.addr_bits());
+        let mut cells = vec![stride.to_string()];
+        cells.extend(bits.iter().map(|&b| format!("{:.2}", bfrv.rate(b))));
+        row(&cells);
+    }
+    println!("paper: the flip-rate peak shifts to higher bits with stride");
+}

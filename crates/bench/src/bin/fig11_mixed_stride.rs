@@ -1,0 +1,122 @@
+//! Figure 11: (a) four-thread data copy with 1–4 distinct strides,
+//! normalized throughput of the five systems; (b) sorted CLP-utilization
+//! distribution over 64 strides for BS+BSM, BS+HM, and SDM+BSM.
+
+use sdam::{pipeline, Experiment, SystemConfig};
+use sdam_bench::{f2, header, row, scale_from_args};
+use sdam_hbm::{Geometry, Hbm, Timing};
+use sdam_mapping::{select, AddressMapping, BitFlipRateVector, HashMapping, PhysAddr};
+use sdam_workloads::datacopy::DataCopy;
+
+fn part_a() {
+    let mut exp = Experiment::bench();
+    exp.scale = scale_from_args();
+    let configs = [
+        SystemConfig::BsDm,
+        SystemConfig::BsBsm,
+        SystemConfig::BsHm,
+        SystemConfig::SdmBsm,
+        SystemConfig::SdmBsmMl { clusters: 4 },
+    ];
+    header("Fig. 11(a): 4-thread data copy, normalized throughput");
+    let mut head = vec!["#strides".to_string()];
+    head.extend(configs.iter().map(|c| c.to_string()));
+    row(&head);
+
+    // Normalize to the streaming (stride-1) BS+DM run, the peak.
+    let streaming = pipeline::run(&DataCopy::new(vec![1]), SystemConfig::BsDm, &exp);
+    let peak = streaming.report.cycles as f64;
+
+    let cases: [&[u64]; 4] = [&[1], &[1, 16], &[1, 8, 16], &[1, 4, 8, 16]];
+    for strides in cases {
+        let w = DataCopy::new(strides.to_vec());
+        let cmp = pipeline::compare(&w, &configs, &exp);
+        let mut cells = vec![strides.len().to_string()];
+        for c in configs {
+            let cycles = cmp
+                .results
+                .iter()
+                .find(|r| r.config == c)
+                .expect("config was run")
+                .report
+                .cycles as f64;
+            cells.push(f2(peak / cycles));
+        }
+        row(&cells);
+    }
+    println!(
+        "paper: BS+BSM matches SDM+BSM at one stride, degrades with the \
+         mix; BS+HM is flat; SDM keeps the lead"
+    );
+}
+
+fn part_b() {
+    let geom = Geometry::hbm2_8gb();
+    let n = 8192u64;
+    header("Fig. 11(b): CLP utilization over strides 1..=64 (sorted ascending)");
+
+    // BS+BSM: one global shuffle selected from the mix of all strides.
+    let mix_addrs: Vec<u64> = (1..=64u64)
+        .flat_map(|s| (0..512u64).map(move |i| i * s * 64))
+        .collect();
+    let global = select::shuffle_for_bfrv(
+        &BitFlipRateVector::from_addrs(mix_addrs.iter().copied(), geom.addr_bits()),
+        geom,
+    );
+    let hash = HashMapping::for_geometry(geom);
+
+    let utilization = |mapping: &dyn AddressMapping, stride: u64| -> f64 {
+        let mut hbm = Hbm::new(geom, Timing::hbm2());
+        let stats =
+            hbm.run_open_loop((0..n).map(|i| geom.decode(mapping.map(PhysAddr(i * stride * 64)))));
+        stats.clp_utilization()
+    };
+
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, global_m) in [
+        ("BS+BSM", Some(&global)),
+        ("BS+HM", None),
+        ("SDM+BSM", None),
+    ] {
+        let mut us: Vec<f64> = (1..=64u64)
+            .map(|s| match (name, global_m) {
+                ("BS+BSM", Some(g)) => utilization(g, s),
+                ("BS+HM", _) => utilization(&hash, s),
+                _ => {
+                    // SDM+BSM: the per-pattern optimal mapping.
+                    let m = select::shuffle_for_stride(s, geom);
+                    utilization(&m, s)
+                }
+            })
+            .collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        series.push((name, us));
+    }
+
+    row(&[
+        "percentile".into(),
+        "BS+BSM".into(),
+        "BS+HM".into(),
+        "SDM+BSM".into(),
+    ]);
+    for p in [0usize, 16, 32, 48, 63] {
+        let mut cells = vec![format!("{}%", p * 100 / 63)];
+        for (_, us) in &series {
+            cells.push(f2(us[p]));
+        }
+        row(&cells);
+    }
+    for (name, us) in &series {
+        let mean = us.iter().sum::<f64>() / us.len() as f64;
+        println!("{name:<8} mean CLP utilization {mean:.2}");
+    }
+    println!(
+        "paper: HM maximizes the average but leaves a low tail; SDM+BSM \
+         is deterministically near-optimal for every stride"
+    );
+}
+
+fn main() {
+    part_a();
+    part_b();
+}

@@ -1,0 +1,80 @@
+//! Runs every figure/table regeneration binary in sequence — the
+//! one-command reproduction of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p sdam-bench --bin repro_all [tiny|small|large]
+//! ```
+//!
+//! Each experiment is invoked in-process via `cargo run` so its output
+//! appears exactly as when run individually; a failure stops the run
+//! with the failing binary named.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "background_ddr_vs_hbm",
+    "background_clp_vs_blp",
+    "fig01_clp_vs_rlp",
+    "fig02_conflict_demo",
+    "fig03_stride_throughput",
+    "fig04_single_vs_multi",
+    "table1_variable_stats",
+    "table2_hyperparams",
+    "table3_area",
+    "table4_loc",
+    "fig11_mixed_stride",
+    "fig12_cpu_speedup",
+    "fig13_profiling_time",
+    "fig14_freq_scaling",
+    "fig15_accelerator",
+    "ablation_chunk_size",
+    "ablation_controller",
+    "ablation_selection",
+    "ablation_hashing",
+    "ablation_optimality",
+    "extension_hmc",
+    "extension_corun",
+    "extension_future_clp",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    for bin in BINARIES {
+        println!("\n───────────────────────── {bin} ─────────────────────────");
+        // Prefer the sibling binary next to this executable; fall back
+        // to cargo for partial builds.
+        let sibling = std::env::current_exe()
+            .expect("self path exists")
+            .with_file_name(bin);
+        let status = if sibling.exists() {
+            Command::new(sibling).args(&args).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "sdam-bench", "--bin", bin])
+                .args(if args.is_empty() {
+                    vec![]
+                } else {
+                    vec!["--".to_string()]
+                })
+                .args(&args)
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "\nall {} experiments regenerated in {:.1} s",
+        BINARIES.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,27 @@
+//! Table 2: training hyper-parameters of the embedding-LSTM model.
+//!
+//! Prints the paper configuration (verbatim Table 2) and the downscaled
+//! laptop configuration the benches use.
+
+use sdam_bench::header;
+use sdam_ml::TrainingConfig;
+
+fn print_config(name: &str, c: &TrainingConfig) {
+    println!("{name}:");
+    println!("  Network size       {}x{} LSTM", c.hidden_dim, c.layers);
+    println!("  Steps              {}", c.steps);
+    println!("  Embedding size     {}", c.embedding_dim);
+    println!("  Learning rate      {}", c.learning_rate);
+    println!("  Sequence length    {}", c.seq_len);
+    println!("  lambda             {}", c.lambda);
+}
+
+fn main() {
+    header("Table 2: training hyper-parameters");
+    print_config("paper (Table 2)", &TrainingConfig::paper());
+    println!();
+    print_config(
+        "laptop preset (used by the benches)",
+        &TrainingConfig::laptop(),
+    );
+}

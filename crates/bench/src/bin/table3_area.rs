@@ -1,0 +1,44 @@
+//! Table 3: FPGA resource utilization.
+//!
+//! We have no VU37P to synthesize for, so this prints the analytical
+//! area model (`sdam_mapping::area`): crossbar switches and SRAM bits
+//! against the device budgets, next to the paper's synthesis numbers.
+//! The claim being reproduced is proportional: AMU + CMT are negligible
+//! next to the BOOM core.
+
+use sdam_bench::header;
+use sdam_mapping::area::{area_report, ResourceEstimate};
+use sdam_mapping::Cmt;
+
+fn line(name: &str, est: ResourceEstimate, paper_logic: f64, paper_sram: f64) {
+    let (logic, sram) = est.as_percent();
+    println!("{name:<16} {logic:>9.2}% {sram:>9.2}%   | {paper_logic:>6.1}% {paper_sram:>6.1}%");
+}
+
+fn main() {
+    // The paper's 8 GB device with 2 MB chunks and 8 AMU replicas.
+    let cmt = Cmt::new(33, 21);
+    let report = area_report(&cmt, 8);
+
+    header("Table 3: FPGA resource utilization (model vs paper)");
+    println!(
+        "{:<16} {:>10} {:>10}   | {:>7} {:>7}",
+        "block", "logic(m)", "sram(m)", "logic", "sram"
+    );
+    line("BOOM core", report.boom_core, 91.8, 88.0);
+    line("HBM controller", report.hbm_controller, 7.5, 10.2);
+    line("AMU (x8)", report.amu, 0.5, 0.0);
+    line("CMT", report.cmt, 0.2, 1.8);
+
+    println!(
+        "\nCMT storage: two-level {:.1} KB vs flat {:.1} KB (paper: 67.94 KB vs 491 kB)",
+        cmt.storage_bits_two_level() as f64 / 8.0 / 1000.0,
+        cmt.storage_bits_flat() as f64 / 8.0 / 1000.0,
+    );
+    let paper128 = Cmt::paper_128gb();
+    println!(
+        "128 GB-socket CMT (64 K chunks): two-level {:.1} KB vs flat {:.1} KB",
+        paper128.storage_bits_two_level() as f64 / 8.0 / 1000.0,
+        paper128.storage_bits_flat() as f64 / 8.0 / 1000.0,
+    );
+}

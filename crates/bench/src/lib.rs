@@ -1,0 +1,70 @@
+//! # sdam-bench — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation (§7); see
+//! DESIGN.md's experiment index for the full mapping. Each binary
+//! prints the same rows/series the paper reports, with the paper's
+//! number next to ours where the paper states one.
+//!
+//! Run them all with:
+//!
+//! ```text
+//! for b in fig01_clp_vs_rlp fig02_conflict_demo fig03_stride_throughput \
+//!          fig04_single_vs_multi table1_variable_stats table2_hyperparams \
+//!          table3_area table4_loc fig11_mixed_stride fig12_cpu_speedup \
+//!          fig13_profiling_time fig14_freq_scaling fig15_accelerator; do
+//!   cargo run --release -p sdam-bench --bin $b
+//! done
+//! ```
+//!
+//! Most binaries accept a scale argument (`tiny` | `small` | `large`,
+//! default `tiny`) controlling workload size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sdam_workloads::Scale;
+
+/// Parses the common CLI scale argument (first positional arg).
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::small(),
+        Some("large") => Scale::large(),
+        Some("tiny") | None => Scale::tiny(),
+        Some(other) => {
+            eprintln!("unknown scale '{other}', expected tiny|small|large; using tiny");
+            Scale::tiny()
+        }
+    }
+}
+
+/// Prints a section header in a consistent style.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned row of cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a throughput in GB/s.
+pub fn gbps(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(gbps(123.45), "123.5");
+    }
+}

@@ -1,0 +1,169 @@
+//! System configurations (paper §7.3) and experiment parameters.
+
+use sdam_hbm::{Geometry, Timing};
+use sdam_sys::MachineConfig;
+use sdam_workloads::Scale;
+
+/// The six system configurations the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemConfig {
+    /// Baseline system + default (boot-time, Xilinx-IP) mapping.
+    BsDm,
+    /// Baseline + one global bit-shuffle mapping selected from the
+    /// aggregate bit-flip profile of the whole workload mix.
+    BsBsm,
+    /// Baseline + hashing-based mapping (XOR entropy harvesting).
+    BsHm,
+    /// SDAM with one bit-shuffle mapping per application.
+    SdmBsm,
+    /// SDAM with K-Means-clustered per-variable mappings.
+    SdmBsmMl {
+        /// Number of clusters per application (the paper uses 4 and 32).
+        clusters: usize,
+    },
+    /// SDAM with DL-assisted K-Means (LSTM autoencoder embeddings).
+    SdmBsmDl {
+        /// Number of clusters per application.
+        clusters: usize,
+    },
+}
+
+impl SystemConfig {
+    /// All configurations of the paper's Fig. 12, in its order.
+    pub fn paper_lineup() -> Vec<SystemConfig> {
+        vec![
+            SystemConfig::BsDm,
+            SystemConfig::BsBsm,
+            SystemConfig::BsHm,
+            SystemConfig::SdmBsm,
+            SystemConfig::SdmBsmMl { clusters: 4 },
+            SystemConfig::SdmBsmMl { clusters: 32 },
+            SystemConfig::SdmBsmDl { clusters: 4 },
+            SystemConfig::SdmBsmDl { clusters: 32 },
+        ]
+    }
+
+    /// True for the configurations that use the SDAM hardware (CMT +
+    /// per-chunk AMU configurations).
+    pub fn is_sdam(&self) -> bool {
+        matches!(
+            self,
+            SystemConfig::SdmBsm | SystemConfig::SdmBsmMl { .. } | SystemConfig::SdmBsmDl { .. }
+        )
+    }
+
+    /// True for configurations that need a profiling run.
+    pub fn needs_profiling(&self) -> bool {
+        !matches!(self, SystemConfig::BsDm | SystemConfig::BsHm)
+    }
+}
+
+impl std::fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemConfig::BsDm => write!(f, "BS+DM"),
+            SystemConfig::BsBsm => write!(f, "BS+BSM"),
+            SystemConfig::BsHm => write!(f, "BS+HM"),
+            SystemConfig::SdmBsm => write!(f, "SDM+BSM"),
+            SystemConfig::SdmBsmMl { clusters } => write!(f, "SDM+BSM+ML({clusters})"),
+            SystemConfig::SdmBsmDl { clusters } => write!(f, "SDM+BSM+DL({clusters})"),
+        }
+    }
+}
+
+/// Everything an end-to-end run needs besides the workload and the
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Memory geometry (default: the paper's 8 GB, 32-channel HBM2).
+    pub geometry: Geometry,
+    /// Memory timing; scale it for the Fig. 14 frequency study.
+    pub timing: Timing,
+    /// Chunk size in address bits (default 21 = 2 MB).
+    pub chunk_bits: u32,
+    /// The machine running the workload (CPU or accelerator).
+    pub machine: MachineConfig,
+    /// Workload scale for the *evaluation* run.
+    pub scale: Scale,
+    /// Seed for the *profiling* run (the paper profiles on the training
+    /// input and evaluates on the test input).
+    pub profile_seed: u64,
+    /// ML/DL training configuration.
+    pub training: sdam_ml::TrainingConfig,
+}
+
+impl Experiment {
+    /// The paper's platform at a laptop-runnable scale.
+    pub fn quick() -> Self {
+        Experiment {
+            geometry: Geometry::hbm2_8gb(),
+            timing: Timing::hbm2(),
+            chunk_bits: 21,
+            machine: MachineConfig::cpu(),
+            scale: Scale::tiny(),
+            profile_seed: 7,
+            training: sdam_ml::TrainingConfig::laptop(),
+        }
+    }
+
+    /// Bench-harness scale (used by the figure binaries).
+    pub fn bench() -> Self {
+        Experiment {
+            scale: Scale::small(),
+            ..Experiment::quick()
+        }
+    }
+
+    /// Validates the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk does not fit the physical space or is smaller
+    /// than a page.
+    pub fn validate(&self) {
+        assert!(
+            self.chunk_bits > 12 && self.chunk_bits < self.geometry.addr_bits(),
+            "chunk must be bigger than a page and smaller than memory"
+        );
+        self.machine.validate();
+        self.training.validate();
+    }
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_fig12() {
+        let l = SystemConfig::paper_lineup();
+        assert_eq!(l.len(), 8);
+        assert_eq!(l[0], SystemConfig::BsDm);
+        assert_eq!(l[0].to_string(), "BS+DM");
+        assert_eq!(
+            l[7].to_string(),
+            "SDM+BSM+DL(32)",
+            "display names follow the paper"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!SystemConfig::BsDm.is_sdam());
+        assert!(!SystemConfig::BsHm.needs_profiling());
+        assert!(SystemConfig::BsBsm.needs_profiling());
+        assert!(SystemConfig::SdmBsmMl { clusters: 4 }.is_sdam());
+    }
+
+    #[test]
+    fn quick_experiment_is_valid() {
+        Experiment::quick().validate();
+        Experiment::bench().validate();
+    }
+}

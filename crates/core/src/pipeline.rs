@@ -1,0 +1,343 @@
+//! The end-to-end evaluation pipeline:
+//! profile → select → allocate → execute → report.
+
+use std::collections::BTreeMap;
+
+use sdam_mapping::MappingId;
+use sdam_sys::{Machine, MappingEngine};
+use sdam_trace::VariableId;
+use sdam_workloads::Workload;
+
+use crate::config::{Experiment, SystemConfig};
+use crate::profiling::{self, ProfileData, Selection};
+use crate::report::{Comparison, RunResult};
+use crate::system::SdamSystem;
+
+/// Runs one workload under one configuration.
+///
+/// Profiling (when the configuration needs it) uses the *training*
+/// input (`exp.profile_seed`); execution uses the evaluation input
+/// (`exp.scale.seed`) — the paper's cross-validation protocol.
+///
+/// # Panics
+///
+/// Panics if the experiment is invalid or physical memory is exhausted
+/// at the configured scale.
+pub fn run(workload: &dyn Workload, config: SystemConfig, exp: &Experiment) -> RunResult {
+    let data = config
+        .needs_profiling()
+        .then(|| profiling::profile_on_baseline(workload, exp));
+    run_with_profile(workload, config, exp, data.as_ref())
+}
+
+/// Like [`run`], but with an externally supplied profile (lets callers
+/// profile once and evaluate many configurations, and lets the BS+BSM
+/// baseline use a workload-mix profile as the paper does).
+pub fn run_with_profile(
+    workload: &dyn Workload,
+    config: SystemConfig,
+    exp: &Experiment,
+    data: Option<&ProfileData>,
+) -> RunResult {
+    exp.validate();
+    let owned;
+    let data = if config.needs_profiling() && data.is_none() {
+        owned = profiling::profile_on_baseline(workload, exp);
+        Some(&owned)
+    } else {
+        data
+    };
+
+    let (selection, learning_time) = match data {
+        Some(d) if config.needs_profiling() => {
+            let out = profiling::select_mappings(config, d, exp);
+            (out.selection, Some(out.learning_time))
+        }
+        _ => {
+            let out = profiling::select_mappings(config, &empty_profile(exp), exp);
+            (out.selection, None)
+        }
+    };
+
+    // ---- Allocation phase on the evaluation input.
+    let eval = workload.generate(exp.scale);
+    let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
+    let var_mapping: BTreeMap<VariableId, MappingId> = match &selection {
+        Selection::Sdam { perms, assignment } => {
+            let ids: Vec<MappingId> = perms
+                .iter()
+                .map(|p| sys.add_mapping(p).expect("fewer than 256 mappings"))
+                .collect();
+            assignment.iter().map(|(&v, &c)| (v, ids[c])).collect()
+        }
+        _ => BTreeMap::new(),
+    };
+    let pa_trace = profiling::materialize(&eval, &mut sys, &var_mapping);
+
+    // ---- Execution phase.
+    let engine = match selection {
+        Selection::GlobalIdentity => MappingEngine::identity(),
+        Selection::GlobalShuffle(m) => MappingEngine::Global(Box::new(m)),
+        Selection::GlobalHash(m) => MappingEngine::Global(Box::new(m)),
+        Selection::Sdam { .. } => MappingEngine::Chunked(sys.cmt_snapshot()),
+    };
+    let mut machine = Machine::new(exp.machine, exp.geometry).with_timing(exp.timing);
+    let report = machine.run(&pa_trace, &engine);
+    RunResult {
+        config,
+        report,
+        learning_time,
+    }
+}
+
+/// Compares a workload across configurations; the BS+DM baseline is
+/// prepended when absent. Profiling runs once and is shared.
+pub fn compare(workload: &dyn Workload, configs: &[SystemConfig], exp: &Experiment) -> Comparison {
+    let mut lineup = Vec::new();
+    if !configs.contains(&SystemConfig::BsDm) {
+        lineup.push(SystemConfig::BsDm);
+    }
+    lineup.extend_from_slice(configs);
+    let needs_profile = lineup.iter().any(|c| c.needs_profiling());
+    let data = needs_profile.then(|| profiling::profile_on_baseline(workload, exp));
+    let results = lineup
+        .into_iter()
+        .map(|c| run_with_profile(workload, c, exp, data.as_ref()))
+        .collect();
+    Comparison {
+        workload: workload.name().to_string(),
+        results,
+    }
+}
+
+/// Runs several workloads *co-resident*: all are materialized into one
+/// shared [`SdamSystem`] (one physical memory, one CMT — the paper's
+/// multi-process reality) and their traces interleave across the
+/// machine's cores, one workload per core group. Returns the combined
+/// execution report per configuration.
+///
+/// Under SDAM each workload's variables get their own mappings; under
+/// the global baselines one mapping must serve the whole mix — the
+/// system-level version of the paper's Observation 2.
+///
+/// # Panics
+///
+/// Panics if `workloads` is empty or the experiment is invalid.
+pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experiment) -> RunResult {
+    assert!(!workloads.is_empty(), "need at least one workload");
+    exp.validate();
+
+    // Profile each workload independently (per-process profiling, as the
+    // paper's offline flow does), then merge the profiles: variables are
+    // renumbered per workload so ids never collide.
+    let profiles: Vec<ProfileData> = workloads
+        .iter()
+        .map(|w| profiling::profile_on_baseline(*w, exp))
+        .collect();
+
+    // Renumber variables: workload i's variable v becomes
+    // v + i * 100_000 (traces never have that many variables).
+    const STRIDE: u32 = 100_000;
+    let mut merged = empty_profile(exp);
+    let mut agg_members: Vec<&sdam_mapping::BitFlipRateVector> = Vec::new();
+    for (i, p) in profiles.iter().enumerate() {
+        for &v in &p.major {
+            let nv = VariableId(v.0 + i as u32 * STRIDE);
+            merged.major.push(nv);
+            merged.bfrvs.insert(nv, p.bfrvs[&v].clone());
+            merged.pa_streams.insert(nv, p.pa_streams[&v].clone());
+        }
+        agg_members.push(&p.aggregate);
+    }
+    merged.aggregate = sdam_mapping::BitFlipRateVector::mean(agg_members);
+
+    let out = profiling::select_mappings(config, &merged, exp);
+
+    // Materialize all workloads into ONE system; each runs in its own
+    // process, its trace renumbered and pinned to its core set.
+    let eval: Vec<sdam_trace::Trace> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            w.generate(exp.scale)
+                .iter()
+                .map(|a| sdam_trace::MemAccess {
+                    variable: VariableId(a.variable.0 + i as u32 * STRIDE),
+                    thread: sdam_trace::ThreadId(
+                        (a.thread.0 as usize % exp.machine.num_cores + i * exp.machine.num_cores)
+                            as u16,
+                    ),
+                    ..*a
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
+    let var_mapping: BTreeMap<VariableId, MappingId> = match &out.selection {
+        Selection::Sdam { perms, assignment } => {
+            let ids: Vec<MappingId> = perms
+                .iter()
+                .map(|p| sys.add_mapping(p).expect("fewer than 256 mappings"))
+                .collect();
+            assignment.iter().map(|(&v, &c)| (v, ids[c])).collect()
+        }
+        _ => BTreeMap::new(),
+    };
+    let mut pa_traces = Vec::new();
+    for (i, t) in eval.iter().enumerate() {
+        let pid = if i == 0 {
+            crate::ProcessId(0)
+        } else {
+            sys.spawn_process()
+        };
+        pa_traces.push(profiling::materialize_in(t, &mut sys, pid, &var_mapping));
+    }
+    let combined = sdam_trace::gen::interleave_round_robin(pa_traces);
+
+    let engine = match out.selection {
+        Selection::GlobalIdentity => MappingEngine::identity(),
+        Selection::GlobalShuffle(m) => MappingEngine::Global(Box::new(m)),
+        Selection::GlobalHash(m) => MappingEngine::Global(Box::new(m)),
+        Selection::Sdam { .. } => MappingEngine::Chunked(sys.cmt_snapshot()),
+    };
+    // The machine grows to host all workloads' cores.
+    let mut machine_cfg = exp.machine;
+    machine_cfg.num_cores *= workloads.len();
+    let mut machine = Machine::new(machine_cfg, exp.geometry).with_timing(exp.timing);
+    let report = machine.run(&combined, &engine);
+    RunResult {
+        config,
+        report,
+        learning_time: Some(out.learning_time),
+    }
+}
+
+fn empty_profile(exp: &Experiment) -> ProfileData {
+    ProfileData {
+        aggregate: sdam_mapping::BitFlipRateVector::from_addrs(
+            std::iter::empty(),
+            exp.geometry.addr_bits(),
+        ),
+        major: Vec::new(),
+        bfrvs: BTreeMap::new(),
+        pa_streams: BTreeMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdam_workloads::datacopy::DataCopy;
+
+    #[test]
+    fn sdam_beats_default_on_hostile_stride() {
+        let w = DataCopy::new(vec![32]);
+        let cmp = compare(&w, &[SystemConfig::SdmBsm], &Experiment::quick());
+        let s = cmp.speedup_of(SystemConfig::SdmBsm).unwrap();
+        assert!(s > 1.25, "SDM+BSM should fix the pinned stride, got {s}");
+    }
+
+    #[test]
+    fn default_mapping_fine_for_streaming() {
+        // Stride-1 already interleaves perfectly, and the per-process
+        // aggregate profile is polluted by inter-variable jumps — the
+        // paper observes the same regression ("for some benchmarks e.g.
+        // perl and stream, SDM+BSM shows worse performance"). SDAM must
+        // not win here, and per-variable clustering must recover most of
+        // the loss.
+        let w = DataCopy::new(vec![1]);
+        let cmp = compare(
+            &w,
+            &[SystemConfig::SdmBsm, SystemConfig::SdmBsmMl { clusters: 4 }],
+            &Experiment::quick(),
+        );
+        let s = cmp.speedup_of(SystemConfig::SdmBsm).unwrap();
+        assert!((0.5..1.3).contains(&s), "streaming speedup {s}");
+        let ml = cmp
+            .speedup_of(SystemConfig::SdmBsmMl { clusters: 4 })
+            .unwrap();
+        assert!(
+            (0.6..1.3).contains(&ml),
+            "per-variable streaming speedup out of band: {ml}"
+        );
+    }
+
+    #[test]
+    fn per_variable_beats_global_on_mixed_strides() {
+        // The paper's Fig. 4 / Fig. 11 claim: with mixed strides, one
+        // global shuffle cannot serve both patterns but per-variable
+        // SDAM can.
+        let w = DataCopy::new(vec![1, 32]);
+        let cmp = compare(
+            &w,
+            &[SystemConfig::BsBsm, SystemConfig::SdmBsmMl { clusters: 4 }],
+            &Experiment::quick(),
+        );
+        let global = cmp.speedup_of(SystemConfig::BsBsm).unwrap();
+        let per_var = cmp
+            .speedup_of(SystemConfig::SdmBsmMl { clusters: 4 })
+            .unwrap();
+        assert!(
+            per_var > global,
+            "per-variable ({per_var}) should beat global ({global})"
+        );
+        assert!(
+            per_var > 1.05,
+            "mixed strides should improve, got {per_var}"
+        );
+    }
+
+    #[test]
+    fn baseline_always_present() {
+        let w = DataCopy::new(vec![8]);
+        let cmp = compare(&w, &[SystemConfig::BsHm], &Experiment::quick());
+        assert_eq!(cmp.results[0].config, SystemConfig::BsDm);
+        assert_eq!(cmp.results.len(), 2);
+        assert!((cmp.speedup_of(SystemConfig::BsDm).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corun_per_variable_beats_global_mix() {
+        // Two co-running copies with different strides: one global
+        // mapping must compromise, SDAM serves both — the paper's
+        // Observation 2 at system level.
+        // Single-threaded tenants so the cross-workload effect is not
+        // masked by DataCopy's intentionally channel-aligned threads.
+        let streamer = DataCopy::with_threads(vec![1], 1);
+        let strider = DataCopy::with_threads(vec![32], 1);
+        let exp = Experiment::quick();
+        let run = |config| {
+            run_corun(
+                &[&streamer as &dyn sdam_workloads::Workload, &strider],
+                config,
+                &exp,
+            )
+            .report
+            .cycles
+        };
+        let base = run(SystemConfig::BsDm);
+        let global = run(SystemConfig::BsBsm);
+        let per_var = run(SystemConfig::SdmBsmMl { clusters: 4 });
+        let s_global = base as f64 / global as f64;
+        let s_per_var = base as f64 / per_var as f64;
+        assert!(
+            s_per_var > s_global,
+            "per-variable ({s_per_var:.2}) must beat the global mix ({s_global:.2})"
+        );
+        assert!(s_per_var > 1.05, "co-run should improve: {s_per_var:.2}");
+    }
+
+    #[test]
+    fn learning_time_only_for_learned_configs() {
+        let w = DataCopy::new(vec![16]);
+        let r = run(&w, SystemConfig::BsDm, &Experiment::quick());
+        assert!(r.learning_time.is_none());
+        let r = run(
+            &w,
+            SystemConfig::SdmBsmMl { clusters: 2 },
+            &Experiment::quick(),
+        );
+        assert!(r.learning_time.is_some());
+    }
+}

@@ -1,0 +1,197 @@
+//! Run results and comparisons across system configurations.
+
+use std::time::Duration;
+
+use sdam_sys::ExecutionReport;
+
+use crate::config::SystemConfig;
+
+/// One workload × configuration run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The configuration.
+    pub config: SystemConfig,
+    /// The machine-model execution report.
+    pub report: ExecutionReport,
+    /// Time spent in clustering / DL training during selection (the
+    /// paper's Fig. 13 profiling-time metric), if any.
+    pub learning_time: Option<Duration>,
+}
+
+/// A workload compared across configurations, with `BS+DM` as the
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Workload name.
+    pub workload: String,
+    /// Per-configuration results, in the order requested.
+    pub results: Vec<RunResult>,
+}
+
+impl Comparison {
+    /// The baseline (BS+DM) cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comparison does not include `BS+DM` (the pipeline
+    /// always adds it).
+    pub fn baseline_cycles(&self) -> u64 {
+        self.results
+            .iter()
+            .find(|r| r.config == SystemConfig::BsDm)
+            .expect("comparison always contains the BS+DM baseline")
+            .report
+            .cycles
+    }
+
+    /// Speedup of a configuration over the BS+DM baseline.
+    pub fn speedup_of(&self, config: SystemConfig) -> Option<f64> {
+        let r = self.results.iter().find(|r| r.config == config)?;
+        Some(self.baseline_cycles() as f64 / r.report.cycles as f64)
+    }
+
+    /// `(config, speedup)` rows, in run order.
+    pub fn speedups(&self) -> Vec<(SystemConfig, f64)> {
+        let base = self.baseline_cycles() as f64;
+        self.results
+            .iter()
+            .map(|r| (r.config, base / r.report.cycles as f64))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.workload)?;
+        for (config, speedup) in self.speedups() {
+            writeln!(f, "  {config:<16} {speedup:>6.2}x")?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes comparisons as CSV (one row per workload, one speedup column
+/// per configuration) — the machine-readable companion to the printed
+/// tables, for plotting.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: std::io::Write>(
+    comparisons: &[Comparison],
+    configs: &[SystemConfig],
+    mut w: W,
+) -> std::io::Result<()> {
+    write!(w, "workload")?;
+    for c in configs {
+        write!(w, ",{c}")?;
+    }
+    writeln!(w)?;
+    for cmp in comparisons {
+        write!(w, "{}", cmp.workload)?;
+        for &c in configs {
+            match cmp.speedup_of(c) {
+                Some(s) => write!(w, ",{s:.4}")?,
+                None => write!(w, ",")?,
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Geometric mean of speedups across comparisons for one configuration
+/// (how the paper aggregates "1.41x on standard benchmarks").
+pub fn geomean_speedup(comparisons: &[Comparison], config: SystemConfig) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for c in comparisons {
+        let s = c.speedup_of(config)?;
+        log_sum += s.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdam_hbm::{SimStats, Timing};
+
+    fn result(config: SystemConfig, cycles: u64) -> RunResult {
+        RunResult {
+            config,
+            report: ExecutionReport {
+                cycles,
+                accesses: 100,
+                memory_requests: 50,
+                l1_hits: 50,
+                memory: SimStats {
+                    requests: 50,
+                    makespan: cycles,
+                    per_channel: vec![],
+                    timing: Timing::hbm2(),
+                },
+                mapping_name: config.to_string(),
+                per_core: vec![],
+            },
+            learning_time: None,
+        }
+    }
+
+    fn cmp(pairs: &[(SystemConfig, u64)]) -> Comparison {
+        Comparison {
+            workload: "test".into(),
+            results: pairs.iter().map(|&(c, n)| result(c, n)).collect(),
+        }
+    }
+
+    #[test]
+    fn speedups_relative_to_bsdm() {
+        let c = cmp(&[
+            (SystemConfig::BsDm, 1000),
+            (SystemConfig::SdmBsm, 500),
+            (SystemConfig::BsHm, 2000),
+        ]);
+        assert_eq!(c.speedup_of(SystemConfig::SdmBsm), Some(2.0));
+        assert_eq!(c.speedup_of(SystemConfig::BsHm), Some(0.5));
+        assert_eq!(c.speedup_of(SystemConfig::BsBsm), None);
+        assert_eq!(c.speedups()[0].1, 1.0);
+    }
+
+    #[test]
+    fn geomean_math() {
+        let a = cmp(&[(SystemConfig::BsDm, 1000), (SystemConfig::SdmBsm, 500)]); // 2x
+        let b = cmp(&[(SystemConfig::BsDm, 1000), (SystemConfig::SdmBsm, 125)]); // 8x
+        let g = geomean_speedup(&[a, b], SystemConfig::SdmBsm).unwrap();
+        assert!((g - 4.0).abs() < 1e-9, "geomean(2, 8) = 4, got {g}");
+        assert_eq!(geomean_speedup(&[], SystemConfig::BsDm), None);
+    }
+
+    #[test]
+    fn csv_output() {
+        let c = cmp(&[(SystemConfig::BsDm, 100), (SystemConfig::SdmBsm, 50)]);
+        let mut buf = Vec::new();
+        write_csv(
+            &[c],
+            &[SystemConfig::BsDm, SystemConfig::SdmBsm, SystemConfig::BsHm],
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text,
+            "workload,BS+DM,SDM+BSM,BS+HM
+test,1.0000,2.0000,
+"
+        );
+    }
+
+    #[test]
+    fn display_includes_rows() {
+        let c = cmp(&[(SystemConfig::BsDm, 100), (SystemConfig::SdmBsm, 50)]);
+        let s = c.to_string();
+        assert!(s.contains("BS+DM"));
+        assert!(s.contains("2.00x"));
+    }
+}

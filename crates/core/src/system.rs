@@ -1,0 +1,533 @@
+//! [`SdamSystem`]: the OS + hardware object a program allocates through.
+//!
+//! This is the library's main user-facing type. It owns the chunk-based
+//! physical allocator, the process address space, the multi-heap malloc,
+//! and the hardware CMT, and keeps them consistent: registering a
+//! mapping updates both malloc (so a heap exists for it) and the CMT
+//! (so the AMU can be configured); a page fault pulls a frame from the
+//! right chunk group and, when a fresh chunk is acquired, writes its
+//! entry into the CMT.
+
+use sdam_hbm::{DecodedAddr, Geometry};
+use sdam_mapping::{BitPermutation, Cmt, MappingId, PhysAddr};
+use sdam_mem::heap::MultiHeapMalloc;
+use sdam_mem::phys::{ChunkAllocator, ChunkEvent};
+use sdam_mem::vma::AddressSpace;
+use sdam_mem::{MemError, VirtAddr};
+
+/// The software-defined-address-mapping system.
+///
+/// # Example
+///
+/// ```
+/// use sdam::SdamSystem;
+/// use sdam_hbm::Geometry;
+/// use sdam_mapping::select;
+///
+/// let geom = Geometry::hbm2_8gb();
+/// let mut sys = SdamSystem::new(geom, 21);
+///
+/// // Register a mapping tuned for a stride-16 structure.
+/// let perm = sys.permutation_for_stride(16);
+/// let id = sys.add_mapping(&perm)?;
+///
+/// // Allocate the structure under that mapping and touch it.
+/// let va = sys.malloc(1 << 20, Some(id))?;
+/// let coords = sys.access(va)?;
+/// assert!(coords.channel < geom.num_channels() as u64);
+/// # Ok::<(), sdam_mem::MemError>(())
+/// ```
+/// Identifies a process sharing the system's physical memory and CMT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+struct Process {
+    aspace: AddressSpace,
+    malloc: MultiHeapMalloc,
+}
+
+/// The software-defined-address-mapping system: shared physical
+/// memory, chunk groups, and CMT, plus one or more processes each with
+/// its own address space and mapping-aware heap allocator.
+#[derive(Debug)]
+pub struct SdamSystem {
+    geometry: Geometry,
+    phys: ChunkAllocator,
+    processes: Vec<Process>,
+    cmt: Cmt,
+    page_bits: u32,
+    registered: Vec<MappingId>,
+}
+
+impl SdamSystem {
+    /// Builds a system over `geometry` with `2^chunk_bits`-byte chunks
+    /// and 4 KB pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk size does not fit between a page and the
+    /// device capacity.
+    pub fn new(geometry: Geometry, chunk_bits: u32) -> Self {
+        let page_bits = 12;
+        SdamSystem {
+            geometry,
+            phys: ChunkAllocator::new(geometry.addr_bits(), chunk_bits, page_bits),
+            processes: vec![Process {
+                aspace: AddressSpace::new(page_bits),
+                malloc: MultiHeapMalloc::new(page_bits),
+            }],
+            cmt: Cmt::new(geometry.addr_bits(), chunk_bits),
+            page_bits,
+            registered: vec![MappingId::DEFAULT],
+        }
+    }
+
+    /// Spawns a new process: a fresh address space and heap allocator
+    /// that share this system's physical memory, chunk groups, and CMT
+    /// (the paper's §4: "the physical memory space ... is globally
+    /// shared by all the processes"). Every registered mapping is
+    /// visible in the new process.
+    pub fn spawn_process(&mut self) -> ProcessId {
+        let mut malloc = MultiHeapMalloc::new(self.page_bits);
+        for &id in &self.registered {
+            malloc.register_external(id);
+        }
+        self.processes.push(Process {
+            aspace: AddressSpace::new(self.page_bits),
+            malloc,
+        });
+        ProcessId(self.processes.len() as u32 - 1)
+    }
+
+    /// Number of live processes (at least 1).
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The hardware chunk-mapping table (read-only view).
+    pub fn cmt(&self) -> &Cmt {
+        &self.cmt
+    }
+
+    /// Borrows the CMT for use as a
+    /// [`sdam_sys::MappingEngine::Chunked`] engine (cloned, as the
+    /// hardware holds its own copy of the table).
+    pub fn cmt_snapshot(&self) -> Cmt {
+        self.cmt.clone()
+    }
+
+    /// The chunk-offset permutation a known stride wants — convenience
+    /// wrapper over [`sdam_mapping::select`] windowed to this system's
+    /// chunk size.
+    pub fn permutation_for_stride(&self, stride_lines: u64) -> BitPermutation {
+        let addrs = (0..4096u64).map(|i| i * stride_lines * 64);
+        let bfrv = sdam_mapping::BitFlipRateVector::from_addrs(addrs, self.geometry.addr_bits());
+        sdam_mapping::select::permutation_for_bfrv_windowed(
+            &bfrv,
+            self.geometry,
+            self.cmt.chunk_bits(),
+        )
+    }
+
+    /// Registers a new address mapping (the paper's `add_addr_map()`),
+    /// configuring both the allocator and the hardware CMT.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::MappingIdsExhausted`] after 255 registrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation window is not this system's chunk
+    /// offset (`[6, chunk_bits)`).
+    pub fn add_mapping(&mut self, perm: &BitPermutation) -> Result<MappingId, MemError> {
+        // Ids are global: the CMT is shared by every process.
+        let id = self.processes[0].malloc.add_addr_map()?;
+        for p in &mut self.processes[1..] {
+            p.malloc.register_external(id);
+        }
+        self.registered.push(id);
+        self.cmt.register(id, perm);
+        Ok(id)
+    }
+
+    /// Allocates `size` bytes under `mapping` (default mapping when
+    /// `None`), wiring any newly created heap to a VMA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator errors ([`MemError`]).
+    pub fn malloc(&mut self, size: u64, mapping: Option<MappingId>) -> Result<VirtAddr, MemError> {
+        self.malloc_in(ProcessId(0), size, mapping)
+    }
+
+    /// [`SdamSystem::malloc`] in a specific process.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::malloc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by this system.
+    pub fn malloc_in(
+        &mut self,
+        pid: ProcessId,
+        size: u64,
+        mapping: Option<MappingId>,
+    ) -> Result<VirtAddr, MemError> {
+        let p = &mut self.processes[pid.0 as usize];
+        let va = p.malloc.malloc(size, mapping)?;
+        for region in p.malloc.drain_new_heaps() {
+            p.aspace
+                .mmap_fixed(region.start, region.len, region.mapping)?;
+        }
+        Ok(va)
+    }
+
+    /// Allocates guard-isolated (rowhammer-sensitive) memory: the
+    /// chunks backing it get free guard chunks on both physical sides,
+    /// so no other security domain can hammer adjacent rows — the
+    /// paper's §4 extension, end to end.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::malloc`], plus
+    /// [`MemError::OutOfPhysicalMemory`] when no isolated chunk exists.
+    pub fn malloc_sensitive(
+        &mut self,
+        size: u64,
+        mapping: Option<MappingId>,
+    ) -> Result<VirtAddr, MemError> {
+        let p = &mut self.processes[0];
+        let va = p.malloc.malloc_sensitive(size, mapping)?;
+        for region in p.malloc.drain_new_heaps() {
+            p.aspace
+                .mmap_fixed_with(region.start, region.len, region.mapping, region.sensitive)?;
+        }
+        Ok(va)
+    }
+
+    /// Number of chunks currently reserved as rowhammer guards.
+    pub fn guard_chunks(&self) -> u64 {
+        self.phys.guard_chunk_count()
+    }
+
+    /// Migrates an allocation to a different address mapping — the
+    /// dynamic-adaptation path the paper sketches ("reconfigure free
+    /// memory into the desired mapping", §4). Because a chunk's PA→HA
+    /// function changes, the data must physically move: the allocation
+    /// is reallocated under `new_mapping` and every resident page is
+    /// copied (modeled as a fault of the destination page).
+    ///
+    /// Returns the new virtual address and the number of pages moved —
+    /// the cost a runtime would weigh against the expected CLP gain.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadAddress`] if `va` is not a live allocation start;
+    /// allocator errors for the new allocation.
+    pub fn remap_in(
+        &mut self,
+        pid: ProcessId,
+        va: VirtAddr,
+        new_mapping: MappingId,
+    ) -> Result<(VirtAddr, u64), MemError> {
+        let size = self.processes[pid.0 as usize]
+            .malloc
+            .size_of(va)
+            .ok_or(MemError::BadAddress(va))?;
+        let new_va = self.malloc_in(pid, size, Some(new_mapping))?;
+        // Copy resident pages: each source page that was faulted in
+        // faults in (and therefore "receives") its destination page.
+        let page = self.page_bytes();
+        let mut moved = 0u64;
+        let mut off = 0u64;
+        while off < size {
+            let src_resident = self.processes[pid.0 as usize]
+                .aspace
+                .translate(VirtAddr(va.raw() + off))
+                .is_some();
+            if src_resident {
+                self.touch_in(pid, VirtAddr(new_va.raw() + off))?;
+                moved += 1;
+            }
+            off += page;
+        }
+        self.processes[pid.0 as usize].malloc.free(va)?;
+        Ok((new_va, moved))
+    }
+
+    /// [`SdamSystem::remap_in`] for the primordial process.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::remap_in`].
+    pub fn remap(
+        &mut self,
+        va: VirtAddr,
+        new_mapping: MappingId,
+    ) -> Result<(VirtAddr, u64), MemError> {
+        self.remap_in(ProcessId(0), va, new_mapping)
+    }
+
+    /// Frees an allocation made with [`SdamSystem::malloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadFree`] for invalid pointers.
+    pub fn free(&mut self, va: VirtAddr) -> Result<(), MemError> {
+        self.processes[0].malloc.free(va)
+    }
+
+    /// Translates a virtual address to a physical address, demand-paging
+    /// on first touch and forwarding chunk events to the CMT.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadAddress`] outside any allocation,
+    /// [`MemError::OutOfPhysicalMemory`] when memory is exhausted.
+    pub fn touch(&mut self, va: VirtAddr) -> Result<PhysAddr, MemError> {
+        self.touch_in(ProcessId(0), va)
+    }
+
+    /// [`SdamSystem::touch`] in a specific process.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::touch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by this system.
+    pub fn touch_in(&mut self, pid: ProcessId, va: VirtAddr) -> Result<PhysAddr, MemError> {
+        let p = &mut self.processes[pid.0 as usize];
+        let pa = p.aspace.access(va, &mut self.phys)?;
+        for ev in p.aspace.drain_events() {
+            match ev {
+                ChunkEvent::Acquired { chunk, mapping } => self
+                    .cmt
+                    .assign_chunk(chunk, mapping)
+                    .expect("allocator only hands out registered mappings"),
+                ChunkEvent::Released { chunk } => {
+                    // Back to the default mapping; the chunk is free.
+                    self.cmt
+                        .assign_chunk(chunk, MappingId::DEFAULT)
+                        .expect("default mapping always registered");
+                }
+            }
+        }
+        Ok(pa)
+    }
+
+    /// Full translation: VA → PA → HA → device coordinates.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::touch`].
+    pub fn access(&mut self, va: VirtAddr) -> Result<DecodedAddr, MemError> {
+        let pa = self.touch(va)?;
+        Ok(self.geometry.decode(self.cmt.translate(pa)))
+    }
+
+    /// [`SdamSystem::access`] in a specific process.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::access`].
+    pub fn access_in(&mut self, pid: ProcessId, va: VirtAddr) -> Result<DecodedAddr, MemError> {
+        let pa = self.touch_in(pid, va)?;
+        Ok(self.geometry.decode(self.cmt.translate(pa)))
+    }
+
+    /// The mapping id of the allocation containing `va`.
+    pub fn mapping_of(&self, va: VirtAddr) -> Option<MappingId> {
+        self.processes[0].malloc.mapping_of(va)
+    }
+
+    /// Demand-paging fault count so far (all processes).
+    pub fn page_faults(&self) -> u64 {
+        self.processes
+            .iter()
+            .map(|p| p.aspace.page_fault_count())
+            .sum()
+    }
+
+    /// Internal fragmentation in stranded pages (paper §4's bound).
+    pub fn fragmentation_pages(&self) -> u64 {
+        self.phys.internal_fragmentation_pages()
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        1u64 << self.page_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swap_perm(sys: &SdamSystem, a: usize, b: usize) -> BitPermutation {
+        let n = (sys.cmt.chunk_bits() - 6) as usize;
+        let mut t: Vec<u32> = (0..n as u32).collect();
+        t.swap(a, b);
+        BitPermutation::new(6, t).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_allocation_and_translation() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 0, 8)).unwrap();
+        let va = sys.malloc(8192, Some(id)).unwrap();
+        let pa = sys.touch(va).unwrap();
+        // The frame's chunk is registered to the new mapping in the CMT.
+        assert_eq!(sys.cmt().chunk_mapping(pa.chunk_number(21)), id);
+        // Translation is consistent when repeated.
+        assert_eq!(sys.access(va).unwrap(), sys.access(va).unwrap());
+        assert_eq!(sys.page_faults(), 1);
+    }
+
+    #[test]
+    fn default_and_custom_mappings_coexist() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 0, 1)).unwrap();
+        let v_default = sys.malloc(4096, None).unwrap();
+        let v_custom = sys.malloc(4096, Some(id)).unwrap();
+        let pa_d = sys.touch(v_default).unwrap();
+        let pa_c = sys.touch(v_custom).unwrap();
+        assert_ne!(pa_d.chunk_number(21), pa_c.chunk_number(21));
+        assert_eq!(
+            sys.cmt().chunk_mapping(pa_d.chunk_number(21)),
+            MappingId::DEFAULT
+        );
+        assert_eq!(sys.cmt().chunk_mapping(pa_c.chunk_number(21)), id);
+    }
+
+    #[test]
+    fn stride_mapping_spreads_channels() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let stride = 32u64; // pins one channel under the default
+        let perm = sys.permutation_for_stride(stride);
+        let id = sys.add_mapping(&perm).unwrap();
+        let va = sys.malloc(2 << 20, Some(id)).unwrap();
+        let mut channels = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let coords = sys.access(VirtAddr(va.raw() + i * stride * 64)).unwrap();
+            channels.insert(coords.channel);
+        }
+        assert!(
+            channels.len() >= 16,
+            "stride should spread over channels, got {}",
+            channels.len()
+        );
+    }
+
+    #[test]
+    fn free_and_realloc() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let va = sys.malloc(4096, None).unwrap();
+        sys.free(va).unwrap();
+        assert!(sys.free(va).is_err());
+        let vb = sys.malloc(4096, None).unwrap();
+        assert_eq!(va, vb, "allocation reused");
+    }
+
+    #[test]
+    fn processes_share_chunk_groups_but_not_address_spaces() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 0, 3)).unwrap();
+        let p1 = sys.spawn_process();
+        assert_eq!(sys.process_count(), 2);
+
+        // Same-sized allocations in both processes land at the same VA
+        // (fresh address spaces)...
+        let va0 = sys.malloc_in(super::ProcessId(0), 4096, Some(id)).unwrap();
+        let va1 = sys.malloc_in(p1, 4096, Some(id)).unwrap();
+        assert_eq!(va0, va1, "independent address spaces start alike");
+
+        // ...but back distinct frames, drawn from the SAME chunk group
+        // (paper §4: chunks hold data "from one or more processes").
+        let pa0 = sys.touch_in(super::ProcessId(0), va0).unwrap();
+        let pa1 = sys.touch_in(p1, va1).unwrap();
+        assert_ne!(pa0, pa1, "frames are distinct");
+        assert_eq!(
+            pa0.chunk_number(21),
+            pa1.chunk_number(21),
+            "both processes' pages share the mapping's chunk"
+        );
+        assert_eq!(sys.cmt().chunk_mapping(pa0.chunk_number(21)), id);
+    }
+
+    #[test]
+    fn mappings_registered_before_spawn_are_visible_after() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let before = sys.add_mapping(&swap_perm(&sys, 1, 2)).unwrap();
+        let p1 = sys.spawn_process();
+        assert!(sys.malloc_in(p1, 64, Some(before)).is_ok());
+        // And mappings registered after the spawn, too.
+        let after = sys.add_mapping(&swap_perm(&sys, 2, 3)).unwrap();
+        assert!(sys.malloc_in(p1, 64, Some(after)).is_ok());
+    }
+
+    #[test]
+    fn remap_migrates_resident_pages_to_the_new_mapping() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let m1 = sys.add_mapping(&swap_perm(&sys, 0, 1)).unwrap();
+        let m2 = sys.add_mapping(&swap_perm(&sys, 0, 8)).unwrap();
+        let va = sys.malloc(8 * 4096, Some(m1)).unwrap();
+        // Touch 3 of 8 pages.
+        for p in [0u64, 3, 7] {
+            sys.touch(VirtAddr(va.raw() + p * 4096)).unwrap();
+        }
+        let (new_va, moved) = sys.remap(va, m2).unwrap();
+        assert_eq!(moved, 3, "only resident pages are copied");
+        assert_ne!(new_va, va);
+        // The new allocation lives in m2's chunk group.
+        let pa = sys.touch(new_va).unwrap();
+        assert_eq!(sys.cmt().chunk_mapping(pa.chunk_number(21)), m2);
+        // The old allocation is gone.
+        assert!(sys.free(va).is_err());
+        // Remapping an invalid pointer errors.
+        assert!(sys.remap(VirtAddr(12), m1).is_err());
+    }
+
+    #[test]
+    fn sensitive_allocation_is_guard_isolated_end_to_end() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let secret = sys.malloc_sensitive(4096, None).unwrap();
+        let pa = sys.touch(secret).unwrap();
+        let chunk = pa.chunk_number(21);
+        assert!(sys.guard_chunks() > 0);
+        // An ordinary allocation can never land in the adjacent chunks.
+        for _ in 0..64 {
+            let va = sys.malloc(2 << 20, None).unwrap();
+            let pa2 = sys.touch(va).unwrap();
+            assert!(
+                pa2.chunk_number(21).abs_diff(chunk) != 1,
+                "neighbour chunk leaked"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_of_reports_heap_mapping() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 2, 3)).unwrap();
+        let va = sys.malloc(128, Some(id)).unwrap();
+        assert_eq!(sys.mapping_of(va), Some(id));
+        assert_eq!(sys.mapping_of(VirtAddr(0)), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! Per-channel scheduling: bank bookkeeping plus data-bus arbitration.
+//!
+//! Each channel owns its banks and its data bus. Two service disciplines
+//! are provided:
+//!
+//! * [`ChannelSim::service_in_order`] — requests are served in arrival
+//!   order. This is the incremental interface the closed-loop system
+//!   model (`sdam-sys`) uses, because a core can only learn a miss's
+//!   completion time when it issues it.
+//! * [`ChannelSim::push`] + [`ChannelSim::drain`] — batch mode with a
+//!   bounded FR-FCFS reorder window: among the oldest `window` pending
+//!   requests, row hits are preferred, otherwise the oldest is served.
+//!   This is what real memory controllers (and the paper's Xilinx HBM
+//!   controller) approximate.
+
+use std::collections::VecDeque;
+
+use crate::bank::{BankState, RowOutcome};
+use crate::stats::ChannelStats;
+use crate::{Cycle, DecodedAddr, Timing};
+
+/// One memory channel: banks, a shared data bus, and a pending queue.
+#[derive(Debug, Clone)]
+pub struct ChannelSim {
+    banks: Vec<BankState>,
+    bus_free: Cycle,
+    pending: VecDeque<(DecodedAddr, Cycle)>,
+    stats: ChannelStats,
+    /// Next refresh boundary (when the timing enables refresh).
+    next_refresh: Cycle,
+    /// Direction of the last data transfer (true = write).
+    last_was_write: bool,
+    /// Requests served per bank.
+    bank_requests: Vec<u64>,
+}
+
+impl ChannelSim {
+    /// Creates a channel with `num_banks` idle banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` is zero.
+    pub fn new(num_banks: usize) -> Self {
+        assert!(num_banks > 0, "a channel needs at least one bank");
+        ChannelSim {
+            banks: vec![BankState::new(); num_banks],
+            bus_free: 0,
+            pending: VecDeque::new(),
+            stats: ChannelStats::default(),
+            next_refresh: 0,
+            last_was_write: false,
+            bank_requests: vec![0; num_banks],
+        }
+    }
+
+    /// Serves one request immediately (arrival order) and returns its
+    /// completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.bank` is out of range for this channel.
+    pub fn service_in_order(
+        &mut self,
+        addr: DecodedAddr,
+        arrival: Cycle,
+        timing: &Timing,
+    ) -> Cycle {
+        self.service_in_order_rw(addr, false, arrival, timing)
+    }
+
+    /// [`ChannelSim::service_in_order`] with an explicit data direction:
+    /// switching between reads and writes pays the channel's turnaround
+    /// penalty (`tWTR`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.bank` is out of range for this channel.
+    pub fn service_in_order_rw(
+        &mut self,
+        addr: DecodedAddr,
+        is_write: bool,
+        arrival: Cycle,
+        timing: &Timing,
+    ) -> Cycle {
+        self.bank_requests[addr.bank as usize] += 1;
+        let bank = &mut self.banks[addr.bank as usize];
+        let (data_ready, outcome) = bank.access(addr.row, arrival, timing);
+        let mut start = data_ready.max(self.bus_free);
+        // Only the write→read direction pays tWTR (writes are posted;
+        // the constraint exists because read data follows write data on
+        // the shared DQ pins). Controllers batch writes to amortize it.
+        if self.last_was_write && !is_write {
+            start += timing.t_wtr;
+        }
+        self.last_was_write = is_write;
+        // Refresh: stall through any refresh window the transfer crosses.
+        if timing.t_refi > 0 {
+            if self.next_refresh == 0 {
+                self.next_refresh = timing.t_refi;
+            }
+            while start + timing.t_burst > self.next_refresh {
+                start = start.max(self.next_refresh + timing.t_rfc);
+                self.next_refresh += timing.t_refi;
+            }
+        }
+        let completion = start + timing.t_burst;
+        self.bus_free = completion;
+        self.record(outcome, completion, timing);
+        completion
+    }
+
+    /// Queues a request for batch (FR-FCFS) service.
+    pub fn push(&mut self, addr: DecodedAddr, arrival: Cycle) {
+        self.pending.push_back((addr, arrival));
+    }
+
+    /// Number of requests awaiting service.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drains the pending queue with a bounded FR-FCFS reorder window,
+    /// returning the completion cycle of the last request (0 if none).
+    ///
+    /// Among the oldest `window` pending requests, the scheduler serves
+    /// the first row hit if any, otherwise the oldest request
+    /// (first-ready, first-come-first-served). `window == 1` degenerates
+    /// to in-order service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn drain(&mut self, window: usize, timing: &Timing) -> Cycle {
+        assert!(window > 0, "reorder window must be >= 1");
+        let mut last = 0;
+        while !self.pending.is_empty() {
+            let depth = window.min(self.pending.len());
+            // First-ready: a request whose bank currently holds its row.
+            let pick = self
+                .pending
+                .iter()
+                .take(depth)
+                .position(|(a, _)| self.banks[a.bank as usize].classify(a.row) == RowOutcome::Hit)
+                .unwrap_or(0);
+            let (addr, arrival) = self.pending.remove(pick).expect("index in range");
+            last = self.service_in_order(addr, arrival, timing);
+        }
+        last
+    }
+
+    /// This channel's counters so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Requests served per bank (index = bank id). Derived lazily from
+    /// bank states is impossible (they hold no counters), so the
+    /// channel tracks it.
+    pub fn bank_requests(&self) -> &[u64] {
+        &self.bank_requests
+    }
+
+    /// Cycle at which the data bus next becomes free.
+    pub fn bus_free(&self) -> Cycle {
+        self.bus_free
+    }
+
+    /// Resets banks, bus, queue, and counters.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = BankState::new();
+        }
+        self.bus_free = 0;
+        self.pending.clear();
+        self.stats = ChannelStats::default();
+        self.next_refresh = 0;
+        self.last_was_write = false;
+        self.bank_requests.iter_mut().for_each(|b| *b = 0);
+    }
+
+    fn record(&mut self, outcome: RowOutcome, completion: Cycle, timing: &Timing) {
+        self.stats.requests += 1;
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        self.stats.bus_busy_cycles += timing.t_burst;
+        self.stats.last_completion = self.stats.last_completion.max(completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(row: u64, bank: u64, col: u64) -> DecodedAddr {
+        DecodedAddr {
+            row,
+            bank,
+            channel: 0,
+            col,
+        }
+    }
+
+    fn t() -> Timing {
+        Timing::hbm2()
+    }
+
+    #[test]
+    fn in_order_requests_serialize_on_bus() {
+        let tm = t();
+        let mut ch = ChannelSim::new(16);
+        // Two hits to different banks, same arrival: the bus is shared.
+        ch.service_in_order(addr(0, 0, 0), 0, &tm);
+        ch.service_in_order(addr(0, 0, 1), 0, &tm);
+        let s = ch.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.row_hits, 1);
+        // Second transfer cannot overlap the first.
+        assert!(s.last_completion >= 2 * tm.t_burst + tm.t_rcd + tm.cl);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits() {
+        let tm = t();
+        // Queue: [row0, row1, row0]. In-order: miss, conflict, conflict.
+        // FR-FCFS (window >= 3): serves both row0 before row1.
+        let mut inorder = ChannelSim::new(1);
+        for (r, a) in [(0u64, 0u64), (1, 0), (0, 0)] {
+            inorder.push(addr(r, 0, 0), a);
+        }
+        let end_inorder = inorder.drain(1, &tm);
+
+        let mut frfcfs = ChannelSim::new(1);
+        for (r, a) in [(0u64, 0u64), (1, 0), (0, 0)] {
+            frfcfs.push(addr(r, 0, 0), a);
+        }
+        let end_frfcfs = frfcfs.drain(8, &tm);
+
+        assert!(frfcfs.stats().row_hits > inorder.stats().row_hits);
+        assert!(end_frfcfs < end_inorder);
+    }
+
+    #[test]
+    fn drain_empties_queue_and_counts_all() {
+        let tm = t();
+        let mut ch = ChannelSim::new(4);
+        for i in 0..100u64 {
+            ch.push(addr(i % 8, i % 4, 0), 0);
+        }
+        ch.drain(16, &tm);
+        assert_eq!(ch.pending_len(), 0);
+        assert_eq!(ch.stats().requests, 100);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let tm = t();
+        let mut ch = ChannelSim::new(2);
+        ch.service_in_order(addr(3, 1, 0), 0, &tm);
+        ch.push(addr(0, 0, 0), 0);
+        ch.reset();
+        assert_eq!(ch.stats(), ChannelStats::default());
+        assert_eq!(ch.pending_len(), 0);
+        assert_eq!(ch.bus_free(), 0);
+    }
+
+    #[test]
+    fn window_one_equals_in_order() {
+        let tm = t();
+        let reqs: Vec<_> = (0..50u64).map(|i| addr(i % 5, i % 2, 0)).collect();
+        let mut a = ChannelSim::new(2);
+        for &r in &reqs {
+            a.push(r, 0);
+        }
+        let end_a = a.drain(1, &tm);
+        let mut b = ChannelSim::new(2);
+        let mut end_b = 0;
+        for &r in &reqs {
+            end_b = b.service_in_order(r, 0, &tm);
+        }
+        assert_eq!(end_a, end_b);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn bank_request_counters() {
+        let tm = t();
+        let mut ch = ChannelSim::new(4);
+        for i in 0..12u64 {
+            ch.service_in_order(addr(0, i % 3, 0), 0, &tm);
+        }
+        assert_eq!(ch.bank_requests(), &[4, 4, 4, 0]);
+        ch.reset();
+        assert_eq!(ch.bank_requests(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn write_read_turnaround_costs_twtr() {
+        let tm = t();
+        // Same row: pure reads back to back vs alternating directions.
+        // Spread over banks so bank latency overlaps and the shared bus
+        // (where the turnaround applies) is the bottleneck.
+        let mut reads = ChannelSim::new(16);
+        let mut mixed = ChannelSim::new(16);
+        let mut end_r = 0;
+        let mut end_m = 0;
+        for i in 0..64u64 {
+            end_r = reads.service_in_order_rw(addr(0, i % 16, 0), false, 0, &tm);
+            end_m = mixed.service_in_order_rw(addr(0, i % 16, 0), i % 2 == 1, 0, &tm);
+        }
+        // 31 write→read transitions pay tWTR.
+        assert!(
+            end_m >= end_r + 31 * tm.t_wtr,
+            "turnarounds should cost ~{} extra, got {} vs {}",
+            63 * tm.t_wtr,
+            end_m,
+            end_r
+        );
+    }
+
+    #[test]
+    fn refresh_stalls_the_channel() {
+        let with = Timing::hbm2_with_refresh();
+        let without = Timing::hbm2();
+        let serve = |tm: &Timing| {
+            let mut ch = ChannelSim::new(16);
+            let mut end = 0;
+            for i in 0..4096u64 {
+                end = ch.service_in_order(addr(i / 256, i % 16, 0), 0, tm);
+            }
+            end
+        };
+        let slow = serve(&with);
+        let fast = serve(&without);
+        assert!(slow > fast, "refresh must cost time: {slow} vs {fast}");
+        // Overhead stays in the expected single-digit-percent band.
+        let overhead = slow as f64 / fast as f64 - 1.0;
+        assert!(overhead < 0.15, "refresh overhead too large: {overhead}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = ChannelSim::new(0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The top-level memory device: a set of independent channels.
+
+use crate::channel::ChannelSim;
+use crate::stats::SimStats;
+use crate::{Cycle, DecodedAddr, Geometry, Timing};
+
+/// Default FR-FCFS reorder window, matching the modest queues of FPGA
+/// memory-controller IP.
+pub const DEFAULT_REORDER_WINDOW: usize = 16;
+
+/// An HBM (or DDR) device simulator.
+///
+/// Channels are fully independent — the defining property of
+/// channel-level parallelism. The device offers an incremental in-order
+/// interface ([`Hbm::service`]) for closed-loop system models and a batch
+/// FR-FCFS interface ([`Hbm::run_open_loop`]) for raw-throughput
+/// experiments.
+///
+/// # Example
+///
+/// ```
+/// use sdam_hbm::{Geometry, Hbm, Timing};
+///
+/// let geom = Geometry::hbm2_8gb();
+/// let mut hbm = Hbm::new(geom, Timing::hbm2());
+///
+/// // Stride-1 stream (consecutive lines): spreads over all channels.
+/// let stream: Vec<_> = (0..4096u64)
+///     .map(|i| geom.decode(sdam_hbm::HardwareAddr(i * 64)))
+///     .collect();
+/// let streaming = hbm.run_open_loop(stream);
+///
+/// // Large-stride stream: every access lands on channel 0.
+/// hbm.reset();
+/// let strided: Vec<_> = (0..4096u64)
+///     .map(|i| geom.decode(sdam_hbm::HardwareAddr(i * 64 * 1024)))
+///     .collect();
+/// let congested = hbm.run_open_loop(strided);
+///
+/// assert!(streaming.throughput_gbps() > 8.0 * congested.throughput_gbps());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    geometry: Geometry,
+    timing: Timing,
+    channels: Vec<ChannelSim>,
+    requests: u64,
+    makespan: Cycle,
+    bank_hash: bool,
+}
+
+impl Hbm {
+    /// Creates a device with the given geometry and timing.
+    ///
+    /// Bank-address hashing is enabled by default: the effective bank is
+    /// `bank XOR (row mod banks)`, the permutation-based interleaving of
+    /// Zhang, Zhu & Zhang (MICRO-33) that real controllers (including
+    /// the Xilinx HBM IP's bank-group interleave) use to keep streams
+    /// that share address alignment but differ in row from fighting
+    /// over one bank.
+    pub fn new(geometry: Geometry, timing: Timing) -> Self {
+        let channels = (0..geometry.num_channels())
+            .map(|_| ChannelSim::new(geometry.banks_per_channel()))
+            .collect();
+        Hbm {
+            geometry,
+            timing,
+            channels,
+            requests: 0,
+            makespan: 0,
+            bank_hash: true,
+        }
+    }
+
+    /// Disables the controller's bank-address hash (for ablations).
+    pub fn without_bank_hash(mut self) -> Self {
+        self.bank_hash = false;
+        self
+    }
+
+    fn effective(&self, mut addr: DecodedAddr) -> DecodedAddr {
+        if self.bank_hash {
+            let bank_bits = self.geometry.bank_bits();
+            let mask = (1u64 << bank_bits) - 1;
+            // XOR-fold the whole row index into the bank so that streams
+            // differing in *any* row bit (low or high) land on different
+            // banks.
+            let mut fold = 0u64;
+            let mut row = addr.row;
+            while row != 0 {
+                fold ^= row & mask;
+                row >>= bank_bits;
+            }
+            addr.bank ^= fold;
+        }
+        addr
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The device timing.
+    pub fn timing(&self) -> Timing {
+        self.timing
+    }
+
+    /// Serves one request in arrival order on its channel, returning the
+    /// completion cycle. Channels do not interfere with each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.channel` or `addr.bank` is out of range for the
+    /// device geometry.
+    pub fn service(&mut self, addr: DecodedAddr, arrival: Cycle) -> Cycle {
+        self.service_rw(addr, false, arrival)
+    }
+
+    /// [`Hbm::service`] with an explicit data direction: channel
+    /// direction switches pay the write-to-read turnaround.
+    ///
+    /// # Panics
+    ///
+    /// As [`Hbm::service`].
+    pub fn service_rw(&mut self, addr: DecodedAddr, is_write: bool, arrival: Cycle) -> Cycle {
+        let addr = self.effective(addr);
+        let done = self.channels[addr.channel as usize].service_in_order_rw(
+            addr,
+            is_write,
+            arrival,
+            &self.timing,
+        );
+        self.requests += 1;
+        self.makespan = self.makespan.max(done);
+        done
+    }
+
+    /// Runs a whole stream open-loop (all requests available at cycle 0)
+    /// with the default FR-FCFS window, and returns the run's statistics.
+    ///
+    /// Open loop models a saturating traffic source — the paper's
+    /// synthetic stride experiments (Figs. 1, 3, 4, 11) all drive the
+    /// memory this way.
+    pub fn run_open_loop<I>(&mut self, addrs: I) -> SimStats
+    where
+        I: IntoIterator<Item = DecodedAddr>,
+    {
+        self.run_open_loop_windowed(addrs, DEFAULT_REORDER_WINDOW)
+    }
+
+    /// Like [`Hbm::run_open_loop`] but with an explicit reorder window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or an address is out of range.
+    pub fn run_open_loop_windowed<I>(&mut self, addrs: I, window: usize) -> SimStats
+    where
+        I: IntoIterator<Item = DecodedAddr>,
+    {
+        for a in addrs {
+            let a = self.effective(a);
+            self.channels[a.channel as usize].push(a, 0);
+            self.requests += 1;
+        }
+        for ch in &mut self.channels {
+            let done = ch.drain(window, &self.timing);
+            self.makespan = self.makespan.max(done);
+        }
+        self.stats()
+    }
+
+    /// A snapshot of the statistics accumulated since construction or the
+    /// last [`Hbm::reset`].
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            requests: self.requests,
+            makespan: self.makespan,
+            per_channel: self.channels.iter().map(|c| c.stats()).collect(),
+            timing: self.timing,
+        }
+    }
+
+    /// Clears all bank state, queues, and counters.
+    pub fn reset(&mut self) {
+        for ch in &mut self.channels {
+            ch.reset();
+        }
+        self.requests = 0;
+        self.makespan = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HardwareAddr, LINE_BYTES};
+
+    fn device() -> Hbm {
+        Hbm::new(Geometry::hbm2_8gb(), Timing::hbm2())
+    }
+
+    fn stride_stream(geom: Geometry, stride_lines: u64, n: u64) -> Vec<DecodedAddr> {
+        (0..n)
+            .map(|i| geom.decode(HardwareAddr(i * stride_lines * LINE_BYTES)))
+            .collect()
+    }
+
+    #[test]
+    fn conservation_requests_in_equals_counted() {
+        let mut hbm = device();
+        let geom = hbm.geometry();
+        let stats = hbm.run_open_loop(stride_stream(geom, 1, 10_000));
+        assert_eq!(stats.requests, 10_000);
+        let per_ch: u64 = stats.per_channel.iter().map(|c| c.requests).sum();
+        assert_eq!(per_ch, 10_000);
+    }
+
+    #[test]
+    fn throughput_monotone_in_channels_touched() {
+        // Streams restricted to k channels: throughput grows with k.
+        let geom = Geometry::hbm2_8gb();
+        let mut last = 0.0;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let mut hbm = device();
+            let addrs: Vec<_> = (0..8192u64)
+                .map(|i| geom.decode(geom.encode(i / (4 * k as u64), 0, i % k as u64, i % 4)))
+                .collect();
+            let t = hbm.run_open_loop(addrs).throughput_gbps();
+            assert!(
+                t > last,
+                "throughput should grow with channel count: {k} ch gave {t} <= {last}"
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn stride_collapse_matches_paper_fig3() {
+        // Paper Fig. 3(a): throughput drops ~20x from stride 1 to 16
+        // lines, and in the worst case (stride 32 on a 32-channel device
+        // with the boot-time mapping) only one channel is used.
+        let geom = Geometry::hbm2_8gb();
+        let mut hbm = device();
+        let t1 = hbm
+            .run_open_loop(stride_stream(geom, 1, 16_384))
+            .throughput_gbps();
+        hbm.reset();
+        let s16 = hbm.run_open_loop(stride_stream(geom, 16, 16_384));
+        let t16 = s16.throughput_gbps();
+        assert_eq!(s16.channels_touched(), 2, "stride 16 uses 2 of 32 channels");
+        assert!(t1 / t16 > 8.0, "expected large collapse, got {t1} / {t16}");
+    }
+
+    #[test]
+    fn single_channel_worst_case() {
+        let geom = Geometry::hbm2_8gb();
+        let mut hbm = device();
+        // Stride of 32 lines (== channel count): channel bits never change.
+        let s = hbm.run_open_loop(stride_stream(geom, 32, 4096));
+        assert_eq!(s.channels_touched(), 1);
+        assert!(s.channel_imbalance() > 31.0);
+    }
+
+    #[test]
+    fn service_in_order_incremental_matches_batch_window_one() {
+        let geom = Geometry::hbm2_8gb();
+        let stream = stride_stream(geom, 3, 2000);
+        let mut a = device();
+        let sa = a.run_open_loop_windowed(stream.clone(), 1);
+        let mut b = device();
+        for &r in &stream {
+            b.service(r, 0);
+        }
+        let sb = b.stats();
+        assert_eq!(sa.makespan, sb.makespan);
+        assert_eq!(sa.per_channel, sb.per_channel);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let geom = Geometry::hbm2_8gb();
+        let mut hbm = device();
+        hbm.run_open_loop(stride_stream(geom, 1, 512));
+        hbm.reset();
+        let s = hbm.stats();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.makespan, 0);
+        assert!(s.per_channel.iter().all(|c| c.requests == 0));
+    }
+
+    #[test]
+    fn row_hit_rate_high_for_sequential_within_row() {
+        let geom = Geometry::hbm2_8gb();
+        let mut hbm = device();
+        // Sweep all columns of one row per bank before moving on —
+        // same-channel accesses, maximal row locality.
+        let addrs: Vec<_> = (0..4096u64)
+            .map(|i| geom.decode(geom.encode(i / 4, 0, 0, i % 4)))
+            .collect();
+        let s = hbm.run_open_loop(addrs);
+        let hr = s.row_hit_rate().unwrap();
+        assert!(hr > 0.7, "expected high hit rate, got {hr}");
+    }
+}

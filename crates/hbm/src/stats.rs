@@ -1,0 +1,221 @@
+//! Simulation statistics: throughput, row-buffer behaviour, channel load.
+
+use crate::{Cycle, Timing, LINE_BYTES};
+
+/// Counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChannelStats {
+    /// Requests served by this channel.
+    pub requests: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to an idle bank (activation only).
+    pub row_misses: u64,
+    /// Row-buffer conflicts (precharge + activation).
+    pub row_conflicts: u64,
+    /// Cycles the channel data bus spent transferring data.
+    pub bus_busy_cycles: Cycle,
+    /// Completion cycle of the last request served.
+    pub last_completion: Cycle,
+}
+
+impl ChannelStats {
+    /// Fraction of requests that hit the open row; `None` when idle.
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        if self.requests == 0 {
+            None
+        } else {
+            Some(self.row_hits as f64 / self.requests as f64)
+        }
+    }
+}
+
+/// Aggregate statistics for one simulation run.
+///
+/// Produced by [`crate::Hbm::run_open_loop`] and friends; consumed by the
+/// figure-regeneration binaries in `sdam-bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Total requests served.
+    pub requests: u64,
+    /// Makespan: the completion cycle of the last request.
+    pub makespan: Cycle,
+    /// Per-channel counters, indexed by channel id.
+    pub per_channel: Vec<ChannelStats>,
+    /// Timing used (needed to convert cycles to seconds).
+    pub timing: Timing,
+}
+
+impl SimStats {
+    /// Total bytes transferred (one line per request).
+    pub fn bytes(&self) -> u64 {
+        self.requests * LINE_BYTES
+    }
+
+    /// Achieved throughput in GB/s over the makespan.
+    ///
+    /// Returns 0.0 for an empty run.
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.bytes() as f64 / self.timing.cycles_to_secs(self.makespan) / 1e9
+    }
+
+    /// Number of channels that served at least one request.
+    pub fn channels_touched(&self) -> usize {
+        self.per_channel.iter().filter(|c| c.requests > 0).count()
+    }
+
+    /// Overall row-buffer hit rate; `None` when no requests ran.
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        if self.requests == 0 {
+            return None;
+        }
+        let hits: u64 = self.per_channel.iter().map(|c| c.row_hits).sum();
+        Some(hits as f64 / self.requests as f64)
+    }
+
+    /// Channel-level-parallelism utilization in `[0, 1]`: achieved
+    /// throughput divided by the device's peak (all channels streaming).
+    ///
+    /// This is the metric plotted in the paper's Fig. 11(b).
+    pub fn clp_utilization(&self) -> f64 {
+        let peak = self.timing.channel_peak_bytes_per_sec() * self.per_channel.len() as f64;
+        if peak == 0.0 || self.makespan == 0 {
+            return 0.0;
+        }
+        let achieved = self.bytes() as f64 / self.timing.cycles_to_secs(self.makespan);
+        (achieved / peak).min(1.0)
+    }
+
+    /// The per-channel request-count imbalance: max/mean. 1.0 is a
+    /// perfectly balanced stream; `num_channels` means one channel took
+    /// everything.
+    pub fn channel_imbalance(&self) -> f64 {
+        if self.requests == 0 {
+            return 1.0;
+        }
+        let max = self
+            .per_channel
+            .iter()
+            .map(|c| c.requests)
+            .max()
+            .unwrap_or(0) as f64;
+        let mean = self.requests as f64 / self.per_channel.len() as f64;
+        max / mean
+    }
+}
+
+impl SimStats {
+    /// Renders an ASCII bar chart of per-channel request counts — the
+    /// quickest way to *see* a mapping's channel balance in a terminal.
+    ///
+    /// ```text
+    /// ch00 ████████████████████████████████ 4096
+    /// ch01 ████                              512
+    /// ```
+    pub fn channel_histogram(&self) -> String {
+        const WIDTH: usize = 40;
+        let max = self
+            .per_channel
+            .iter()
+            .map(|c| c.requests)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut out = String::new();
+        for (i, c) in self.per_channel.iter().enumerate() {
+            let bar = (c.requests as usize * WIDTH)
+                .div_ceil(max as usize)
+                .min(WIDTH);
+            out.push_str(&format!(
+                "ch{i:02} {:<WIDTH$} {}
+",
+                "█".repeat(if c.requests == 0 { 0 } else { bar.max(1) }),
+                c.requests
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(requests: u64, makespan: Cycle, channels: usize) -> SimStats {
+        let mut per_channel = vec![ChannelStats::default(); channels];
+        // Spread requests evenly for the test.
+        for (i, c) in per_channel.iter_mut().enumerate() {
+            c.requests =
+                requests / channels as u64 + u64::from((i as u64) < requests % channels as u64);
+        }
+        SimStats {
+            requests,
+            makespan,
+            per_channel,
+            timing: Timing::hbm2(),
+        }
+    }
+
+    #[test]
+    fn empty_run_is_well_behaved() {
+        let s = stats_with(0, 0, 32);
+        assert_eq!(s.throughput_gbps(), 0.0);
+        assert_eq!(s.row_hit_rate(), None);
+        assert_eq!(s.clp_utilization(), 0.0);
+        assert_eq!(s.channel_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        // 1e9 cycles at 1 GHz = 1 s; 2^30 requests x 64 B = 64 GiB.
+        let s = stats_with(1 << 30, 1_000_000_000, 32);
+        let expect = (64u64 << 30) as f64 / 1e9;
+        assert!((s.throughput_gbps() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn imbalance_of_single_channel_stream() {
+        let mut s = stats_with(0, 100, 4);
+        s.requests = 100;
+        s.per_channel[2].requests = 100;
+        assert_eq!(s.channel_imbalance(), 4.0);
+        assert_eq!(s.channels_touched(), 1);
+    }
+
+    #[test]
+    fn clp_utilization_bounded() {
+        let s = stats_with(1 << 20, 1 << 17, 32);
+        let u = s.clp_utilization();
+        assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn histogram_renders_all_channels() {
+        let mut s = stats_with(100, 100, 4);
+        s.per_channel[2].requests = 90;
+        let h = s.channel_histogram();
+        assert_eq!(h.lines().count(), 4);
+        assert!(h.contains("ch02"));
+        assert!(
+            h.lines().nth(2).unwrap().matches('█').count()
+                > h.lines().next().unwrap().matches('█').count()
+        );
+        // Empty stats render without panicking.
+        let empty = stats_with(0, 0, 2);
+        assert_eq!(empty.channel_histogram().lines().count(), 2);
+    }
+
+    #[test]
+    fn channel_hit_rate() {
+        let c = ChannelStats {
+            requests: 10,
+            row_hits: 4,
+            ..Default::default()
+        };
+        assert_eq!(c.row_hit_rate(), Some(0.4));
+        assert_eq!(ChannelStats::default().row_hit_rate(), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Address and identifier newtypes.
+
+/// A physical address: the output of VA→PA translation and the input of
+/// PA→HA mapping.
+///
+/// Keeping [`PhysAddr`] distinct from [`sdam_hbm::HardwareAddr`] makes it
+/// a type error to hand an unmapped physical address to the memory
+/// device — the bug class SDAM's correctness argument (paper §4) is
+/// about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The chunk number: the address bits above `chunk_bits`.
+    ///
+    /// ```
+    /// use sdam_mapping::PhysAddr;
+    /// // 2 MB chunks => 21 offset bits.
+    /// assert_eq!(PhysAddr(0x40_0000).chunk_number(21), 2);
+    /// ```
+    #[inline]
+    pub fn chunk_number(self, chunk_bits: u32) -> u64 {
+        self.0 >> chunk_bits
+    }
+
+    /// The offset within the chunk: the low `chunk_bits` bits.
+    #[inline]
+    pub fn chunk_offset(self, chunk_bits: u32) -> u64 {
+        self.0 & ((1u64 << chunk_bits) - 1)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// An address-mapping identifier, as returned by the paper's
+/// `add_addr_map()` API and stored per chunk in the [`crate::Cmt`].
+///
+/// The CMT's first-level table stores one byte per chunk, so the system
+/// supports up to 256 concurrent mappings (paper §4: "Our system
+/// supports up to 256 access patterns, which is confirmed to be
+/// sufficient").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MappingId(pub u8);
+
+impl MappingId {
+    /// The identity (boot-time default) mapping, always id 0.
+    pub const DEFAULT: MappingId = MappingId(0);
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u8> for MappingId {
+    fn from(v: u8) -> Self {
+        MappingId(v)
+    }
+}
+
+impl std::fmt::Display for MappingId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_split_round_trips() {
+        let chunk_bits = 21; // 2 MB
+        for raw in [0u64, 1, 0x1f_ffff, 0x20_0000, 0xdead_beef] {
+            let pa = PhysAddr(raw);
+            let rebuilt = (pa.chunk_number(chunk_bits) << chunk_bits) | pa.chunk_offset(chunk_bits);
+            assert_eq!(rebuilt, raw);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhysAddr(0x10).to_string(), "PA:0x10");
+        assert_eq!(MappingId(3).to_string(), "map#3");
+        assert_eq!(format!("{:x}", PhysAddr(255)), "ff");
+    }
+
+    #[test]
+    fn default_mapping_id_is_zero() {
+        assert_eq!(MappingId::DEFAULT.index(), 0);
+        assert_eq!(MappingId::default(), MappingId::DEFAULT);
+    }
+}

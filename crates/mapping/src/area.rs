@@ -1,0 +1,152 @@
+//! Analytical hardware-cost model, standing in for the paper's FPGA
+//! resource-utilization table (Table 3).
+//!
+//! We have no VU37P to synthesize for, so we model resources the way an
+//! architect estimates them before synthesis: crossbars as `n²`
+//! switches (one LUT each on an FPGA), tables as SRAM bits, and the
+//! fixed blocks (BOOM core, HBM controller IP) at the paper's reported
+//! budgets. The model's job is to reproduce the paper's *claim* — that
+//! the AMU and CMT are negligible next to the core — not the exact
+//! synthesis results.
+
+use crate::Cmt;
+
+/// LUT budget of the paper's VU37P FPGA (Xilinx product table: 1,304k
+/// CLB LUTs).
+pub const VU37P_LUTS: u64 = 1_304_000;
+
+/// On-chip SRAM budget of the VU37P in bits (70.9 Mb BRAM + 270 Mb
+/// URAM ≈ 341 Mb).
+pub const VU37P_SRAM_BITS: u64 = 341_000_000;
+
+/// Fraction of FPGA logic used by the 4-core BOOM system (paper
+/// Table 3).
+pub const BOOM_LOGIC_FRACTION: f64 = 0.918;
+
+/// Fraction of FPGA SRAM used by the BOOM system (paper Table 3).
+pub const BOOM_SRAM_FRACTION: f64 = 0.880;
+
+/// Fraction of FPGA logic used by the HBM controller (paper Table 3).
+pub const HBM_CTRL_LOGIC_FRACTION: f64 = 0.075;
+
+/// Fraction of FPGA SRAM used by the HBM controller (paper Table 3).
+pub const HBM_CTRL_SRAM_FRACTION: f64 = 0.102;
+
+/// Resource estimate for one block, as fractions of the device budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceEstimate {
+    /// Fraction of device LUTs.
+    pub logic_fraction: f64,
+    /// Fraction of device SRAM bits.
+    pub sram_fraction: f64,
+}
+
+impl ResourceEstimate {
+    /// Formats the estimate as the paper's percentage pair.
+    pub fn as_percent(&self) -> (f64, f64) {
+        (self.logic_fraction * 100.0, self.sram_fraction * 100.0)
+    }
+}
+
+/// The full resource table for a system configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// The fixed BOOM core budget.
+    pub boom_core: ResourceEstimate,
+    /// The fixed HBM controller budget.
+    pub hbm_controller: ResourceEstimate,
+    /// Modeled AMU cost.
+    pub amu: ResourceEstimate,
+    /// Modeled CMT cost.
+    pub cmt: ResourceEstimate,
+}
+
+/// Estimates the AMU cost: `replicas` crossbars of `n²` single-bit
+/// switches, one LUT per switch, plus `n` `log2(n)`-bit config
+/// registers per replica (registers are cheap; we charge one LUT per 4
+/// config bits for routing). The paper replicates the AMU 8× to sustain
+/// peak HBM bandwidth on the slow FPGA fabric.
+pub fn amu_cost(offset_bits: u32, replicas: u32) -> ResourceEstimate {
+    let n = offset_bits as u64;
+    let switches = n * n;
+    let config_luts = n * n.next_power_of_two().trailing_zeros() as u64 / 4;
+    let luts = (switches + config_luts) * replicas as u64;
+    // Apply an FPGA overhead factor for muxing/pipelining; calibrated so
+    // the paper-sized AMU (15 bits, 8 replicas) lands near its reported
+    // 0.5 % of a VU37P.
+    let overhead = 3.0;
+    ResourceEstimate {
+        logic_fraction: luts as f64 * overhead / VU37P_LUTS as f64,
+        sram_fraction: 0.0,
+    }
+}
+
+/// Estimates the CMT cost: its two-level storage as SRAM bits, plus a
+/// small indexing datapath in logic.
+pub fn cmt_cost(cmt: &Cmt) -> ResourceEstimate {
+    let bits = cmt.storage_bits_two_level();
+    // Index/compare datapath: a few hundred LUTs a side, modeled as
+    // 40 LUTs per address bit of chunk index.
+    let index_bits = 64 - (cmt.num_chunks() - 1).leading_zeros() as u64;
+    let luts = 40 * index_bits + 2_000;
+    ResourceEstimate {
+        logic_fraction: luts as f64 / VU37P_LUTS as f64,
+        sram_fraction: bits as f64 / VU37P_SRAM_BITS as f64,
+    }
+}
+
+/// Produces the full Table-3-equivalent report for a chunk configuration.
+pub fn area_report(cmt: &Cmt, amu_replicas: u32) -> AreaReport {
+    AreaReport {
+        boom_core: ResourceEstimate {
+            logic_fraction: BOOM_LOGIC_FRACTION,
+            sram_fraction: BOOM_SRAM_FRACTION,
+        },
+        hbm_controller: ResourceEstimate {
+            logic_fraction: HBM_CTRL_LOGIC_FRACTION,
+            sram_fraction: HBM_CTRL_SRAM_FRACTION,
+        },
+        amu: amu_cost(cmt.chunk_bits() - 6, amu_replicas),
+        cmt: cmt_cost(cmt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amu_is_well_under_one_percent() {
+        let est = amu_cost(15, 8);
+        let (logic, sram) = est.as_percent();
+        assert!(logic < 1.0, "AMU logic should be <1 %, got {logic}");
+        assert!(logic > 0.05, "AMU logic should be non-trivial, got {logic}");
+        assert_eq!(sram, 0.0);
+    }
+
+    #[test]
+    fn cmt_is_tiny() {
+        let cmt = Cmt::paper_128gb();
+        let est = cmt_cost(&cmt);
+        let (logic, sram) = est.as_percent();
+        assert!(logic < 1.0);
+        assert!(sram < 1.0, "68 KB in 341 Mb is well under 1 %, got {sram}");
+    }
+
+    #[test]
+    fn added_hardware_negligible_vs_core() {
+        // The paper's Table 3 argument: AMU + CMT << BOOM core.
+        let cmt = Cmt::paper_128gb();
+        let report = area_report(&cmt, 8);
+        let added = report.amu.logic_fraction + report.cmt.logic_fraction;
+        assert!(added < report.boom_core.logic_fraction / 50.0);
+        let added_sram = report.amu.sram_fraction + report.cmt.sram_fraction;
+        assert!(added_sram < report.boom_core.sram_fraction / 50.0);
+    }
+
+    #[test]
+    fn more_replicas_cost_more() {
+        assert!(amu_cost(15, 8).logic_fraction > amu_cost(15, 1).logic_fraction);
+        assert!(amu_cost(21, 1).logic_fraction > amu_cost(15, 1).logic_fraction);
+    }
+}

@@ -1,0 +1,238 @@
+//! Bit-flip-rate vectors (BFRV) — the paper's Eq. 1 profiling statistic.
+//!
+//! For a trace of addresses, the flip rate of bit `i` is the fraction of
+//! consecutive address pairs in which bit `i` differs. Bits that flip
+//! often between temporally-adjacent accesses are the right bits to
+//! route to the channel selector: adjacent requests then land on
+//! different channels and proceed in parallel.
+
+/// The bit-flip-rate vector of an address trace.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mapping::BitFlipRateVector;
+///
+/// // Stride-1 lines: bit 6 flips on every step.
+/// let addrs = (0..1024u64).map(|i| i * 64);
+/// let bfrv = BitFlipRateVector::from_addrs(addrs, 33);
+/// assert!(bfrv.rate(6) > 0.99);
+/// assert!(bfrv.rate(6) > bfrv.rate(7));
+/// assert!(bfrv.rate(7) > bfrv.rate(12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitFlipRateVector {
+    rates: Vec<f64>,
+    samples: u64,
+}
+
+impl BitFlipRateVector {
+    /// Computes the BFRV of an address stream over `width` bits.
+    ///
+    /// An empty or single-element stream yields an all-zero vector
+    /// (there are no consecutive pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn from_addrs<I>(addrs: I, width: u32) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        assert!(width > 0 && width <= 64, "width must be in 1..=64");
+        let mut flips = vec![0u64; width as usize];
+        let mut prev: Option<u64> = None;
+        let mut pairs = 0u64;
+        for a in addrs {
+            if let Some(p) = prev {
+                let x = p ^ a;
+                for (i, f) in flips.iter_mut().enumerate() {
+                    *f += (x >> i) & 1;
+                }
+                pairs += 1;
+            }
+            prev = Some(a);
+        }
+        let rates = flips
+            .iter()
+            .map(|&f| {
+                if pairs == 0 {
+                    0.0
+                } else {
+                    f as f64 / pairs as f64
+                }
+            })
+            .collect();
+        BitFlipRateVector {
+            rates,
+            samples: pairs,
+        }
+    }
+
+    /// Builds a BFRV directly from rates (used by clustering, whose
+    /// centroids are mean BFRVs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or any rate is outside `[0, 1]`.
+    pub fn from_rates(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "BFRV must cover at least one bit");
+        assert!(
+            rates.iter().all(|r| (0.0..=1.0).contains(r)),
+            "flip rates must lie in [0, 1]"
+        );
+        BitFlipRateVector { rates, samples: 0 }
+    }
+
+    /// Number of address bits covered.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.rates.len() as u32
+    }
+
+    /// Flip rate of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    #[inline]
+    pub fn rate(&self, i: u32) -> f64 {
+        self.rates[i as usize]
+    }
+
+    /// All rates, LSB first.
+    #[inline]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of consecutive pairs observed.
+    #[inline]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Bit positions in `[lo, width)` sorted by descending flip rate;
+    /// ties broken toward lower bit positions (which favour locality).
+    pub fn bits_by_flip_rate(&self, lo: u32) -> Vec<u32> {
+        let mut bits: Vec<u32> = (lo..self.width()).collect();
+        bits.sort_by(|&a, &b| {
+            self.rates[b as usize]
+                .partial_cmp(&self.rates[a as usize])
+                .expect("rates are finite")
+                .then(a.cmp(&b))
+        });
+        bits
+    }
+
+    /// Euclidean distance to another BFRV (the K-Means metric of Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn distance(&self, other: &BitFlipRateVector) -> f64 {
+        assert_eq!(self.width(), other.width(), "BFRV width mismatch");
+        self.rates
+            .iter()
+            .zip(&other.rates)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The element-wise mean of a non-empty set of BFRVs (a K-Means
+    /// centroid, the paper's `µ_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vs` is empty or widths differ.
+    pub fn mean<'a, I>(vs: I) -> BitFlipRateVector
+    where
+        I: IntoIterator<Item = &'a BitFlipRateVector>,
+    {
+        let mut it = vs.into_iter();
+        let first = it.next().expect("mean of empty set");
+        let mut acc: Vec<f64> = first.rates.clone();
+        let mut n = 1usize;
+        for v in it {
+            assert_eq!(v.width(), first.width(), "BFRV width mismatch");
+            for (a, b) in acc.iter_mut().zip(&v.rates) {
+                *a += b;
+            }
+            n += 1;
+        }
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+        BitFlipRateVector::from_rates(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let b = BitFlipRateVector::from_addrs(std::iter::empty(), 16);
+        assert!(b.rates().iter().all(|&r| r == 0.0));
+        assert_eq!(b.samples(), 0);
+    }
+
+    #[test]
+    fn alternating_bit_flips_every_pair() {
+        let addrs = (0..100u64).map(|i| (i % 2) << 3);
+        let b = BitFlipRateVector::from_addrs(addrs, 8);
+        assert_eq!(b.rate(3), 1.0);
+        assert_eq!(b.rate(2), 0.0);
+    }
+
+    #[test]
+    fn stride_moves_flip_peak_left_to_right() {
+        // Paper Fig. 3(b): increasing stride moves the peak to higher
+        // bits ("to the left" in the MSB-first plot).
+        let peak = |stride: u64| -> u32 {
+            let addrs = (0..4096u64).map(move |i| i * stride * 64);
+            let b = BitFlipRateVector::from_addrs(addrs, 33);
+            b.bits_by_flip_rate(6)[0]
+        };
+        assert_eq!(peak(1), 6);
+        assert_eq!(peak(2), 7);
+        assert_eq!(peak(16), 10);
+    }
+
+    #[test]
+    fn rates_bounded_and_sorted_access() {
+        let addrs = (0..1000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15));
+        let b = BitFlipRateVector::from_addrs(addrs, 33);
+        assert!(b.rates().iter().all(|&r| (0.0..=1.0).contains(&r)));
+        let bits = b.bits_by_flip_rate(6);
+        assert_eq!(bits.len(), 27);
+        for w in bits.windows(2) {
+            assert!(b.rate(w[0]) >= b.rate(w[1]));
+        }
+    }
+
+    #[test]
+    fn distance_and_mean() {
+        let a = BitFlipRateVector::from_rates(vec![0.0, 1.0]);
+        let b = BitFlipRateVector::from_rates(vec![1.0, 0.0]);
+        assert!((a.distance(&b) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        let m = BitFlipRateVector::mean([&a, &b]);
+        assert_eq!(m.rates(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn distance_width_mismatch_panics() {
+        let a = BitFlipRateVector::from_rates(vec![0.0]);
+        let b = BitFlipRateVector::from_rates(vec![0.0, 0.0]);
+        let _ = a.distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn from_rates_validates() {
+        let _ = BitFlipRateVector::from_rates(vec![1.5]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The Chunk Mapping Table (CMT): per-chunk mapping metadata.
+//!
+//! The CMT (paper §5.3) is a small on-chip SRAM keyed by chunk number.
+//! To keep it compact it is split in two levels: the first table stores
+//! one 8-bit *mapping index* per chunk; the second stores the 60-bit AMU
+//! crossbar configuration for each of up to 256 concurrently-live
+//! mappings. For the paper's 128 GB/socket configuration that is
+//! `64 K × 8 b + 256 × 60 b ≈ 67.9 KB`, versus 480 KB for a flat table.
+//!
+//! On every memory access the chunk number indexes the CMT, the AMU
+//! permutes the chunk-offset bits, and the chunk number is copied
+//! through unchanged — which is what makes inter-chunk aliasing
+//! impossible (paper §4).
+
+use sdam_hbm::HardwareAddr;
+
+use crate::{Amu, AmuConfig, BitPermutation, MappingId, PhysAddr};
+
+/// Lookup latency of the CMT SRAM in nanoseconds (paper §5.3: "6 ns …
+/// negligible in comparison to the HBM access latency (> 130 ns)").
+pub const CMT_LOOKUP_NS: f64 = 6.0;
+
+/// Maximum number of concurrently-registered mappings (8-bit index).
+pub const MAX_MAPPINGS: usize = 256;
+
+/// Errors from CMT operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmtError {
+    /// The chunk number exceeds the table size.
+    ChunkOutOfRange {
+        /// Offending chunk number.
+        chunk: u64,
+        /// Number of chunks the table covers.
+        chunks: u64,
+    },
+    /// The mapping id has no registered crossbar configuration.
+    UnregisteredMapping(MappingId),
+}
+
+impl std::fmt::Display for CmtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmtError::ChunkOutOfRange { chunk, chunks } => {
+                write!(
+                    f,
+                    "chunk {chunk} out of range (table covers {chunks} chunks)"
+                )
+            }
+            CmtError::UnregisteredMapping(id) => {
+                write!(f, "mapping {id} has no registered AMU configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CmtError {}
+
+/// The two-level chunk mapping table plus its attached AMUs.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mapping::{BitPermutation, Cmt, MappingId, PhysAddr};
+///
+/// // 8 GB of physical memory in 2 MB chunks.
+/// let mut cmt = Cmt::new(33, 21);
+/// let mut table: Vec<u32> = (0..15).collect();
+/// table.swap(0, 4);
+/// let perm = BitPermutation::new(6, table)?;
+/// let id = MappingId(1);
+/// cmt.register(id, &perm);
+/// cmt.assign_chunk(3, id)?;
+///
+/// // Addresses in chunk 3 are remapped; chunk number is preserved.
+/// let pa = PhysAddr((3 << 21) | (1 << 10));
+/// let ha = cmt.translate(pa);
+/// assert_eq!(ha.raw() >> 21, 3);
+/// assert_eq!(ha.raw() & ((1 << 21) - 1), 1 << 6);
+/// // Addresses in other chunks keep the boot-time default.
+/// assert_eq!(cmt.translate(PhysAddr(1 << 10)).raw(), 1 << 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cmt {
+    phys_bits: u32,
+    chunk_bits: u32,
+    /// First-level table: mapping index per chunk.
+    chunk_index: Vec<u8>,
+    /// Second-level table: packed crossbar configuration per mapping.
+    configs: Vec<Option<AmuConfig>>,
+    /// Decoded AMUs (the hardware keeps these as live crossbar state).
+    amus: Vec<Option<Amu>>,
+}
+
+impl Cmt {
+    /// Creates a CMT for a physical space of `phys_bits` address bits
+    /// divided into `2^chunk_bits`-byte chunks. All chunks start on the
+    /// default mapping (id 0 = identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bits >= phys_bits` or the chunk offset window
+    /// (above the 6 line-offset bits) is empty or exceeds 21 bits.
+    pub fn new(phys_bits: u32, chunk_bits: u32) -> Self {
+        assert!(chunk_bits < phys_bits, "chunks must subdivide the space");
+        assert!(
+            chunk_bits > 6 && chunk_bits - 6 <= 21,
+            "chunk offset window must be 1..=21 bits above the line offset"
+        );
+        let chunks = 1usize << (phys_bits - chunk_bits);
+        let mut configs = vec![None; MAX_MAPPINGS];
+        let mut amus = vec![None; MAX_MAPPINGS];
+        let identity = BitPermutation::identity(6, (chunk_bits - 6) as usize);
+        configs[0] = Some(AmuConfig::pack(&identity));
+        amus[0] = Some(Amu::new(identity));
+        Cmt {
+            phys_bits,
+            chunk_bits,
+            chunk_index: vec![0; chunks],
+            configs,
+            amus,
+        }
+    }
+
+    /// A CMT sized exactly as the paper's headline configuration:
+    /// 128 GB socket (37 address bits) with 2 MB chunks → 64 K chunks.
+    pub fn paper_128gb() -> Self {
+        Cmt::new(37, 21)
+    }
+
+    /// Number of chunks covered.
+    #[inline]
+    pub fn num_chunks(&self) -> u64 {
+        self.chunk_index.len() as u64
+    }
+
+    /// The chunk size in bytes.
+    #[inline]
+    pub fn chunk_bytes(&self) -> u64 {
+        1u64 << self.chunk_bits
+    }
+
+    /// The chunk-offset width in bits.
+    #[inline]
+    pub fn chunk_bits(&self) -> u32 {
+        self.chunk_bits
+    }
+
+    /// Physical address space covered, in bytes.
+    #[inline]
+    pub fn covered_bytes(&self) -> u64 {
+        1u64 << self.phys_bits
+    }
+
+    /// Registers (or replaces) the crossbar configuration for a mapping
+    /// id. This models the OS writing the CMT's second-level table over
+    /// memory-mapped I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation window is not the chunk-offset window
+    /// `[6, chunk_bits)`.
+    pub fn register(&mut self, id: MappingId, perm: &BitPermutation) {
+        assert_eq!(perm.lo(), 6, "AMU permutes bits above the line offset");
+        assert_eq!(
+            perm.len() as u32,
+            self.chunk_bits - 6,
+            "permutation must cover exactly the chunk offset"
+        );
+        self.configs[id.index()] = Some(AmuConfig::pack(perm));
+        self.amus[id.index()] = Some(Amu::new(perm.clone()));
+    }
+
+    /// Assigns a chunk to a registered mapping. Models the kernel's
+    /// chunk-allocation path writing the first-level table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmtError::ChunkOutOfRange`] or
+    /// [`CmtError::UnregisteredMapping`].
+    pub fn assign_chunk(&mut self, chunk: u64, id: MappingId) -> Result<(), CmtError> {
+        if chunk >= self.num_chunks() {
+            return Err(CmtError::ChunkOutOfRange {
+                chunk,
+                chunks: self.num_chunks(),
+            });
+        }
+        if self.configs[id.index()].is_none() {
+            return Err(CmtError::UnregisteredMapping(id));
+        }
+        self.chunk_index[chunk as usize] = id.0;
+        Ok(())
+    }
+
+    /// The mapping currently assigned to a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is out of range.
+    pub fn chunk_mapping(&self, chunk: u64) -> MappingId {
+        MappingId(self.chunk_index[chunk as usize])
+    }
+
+    /// Translates a physical address: the chunk number passes through,
+    /// the chunk offset goes through the chunk's AMU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lies beyond the covered physical space.
+    pub fn translate(&self, pa: PhysAddr) -> HardwareAddr {
+        let chunk = pa.chunk_number(self.chunk_bits);
+        let id = self.chunk_index[chunk as usize] as usize;
+        let amu = self.amus[id].as_ref().expect("assigned ids are registered");
+        HardwareAddr(amu.apply(pa.0))
+    }
+
+    /// Inverts [`Cmt::translate`] (used by tests and by DMA-style
+    /// debugging tools; the hardware never needs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lies beyond the covered physical space.
+    pub fn translate_inverse(&self, ha: HardwareAddr) -> PhysAddr {
+        let chunk = ha.raw() >> self.chunk_bits;
+        let id = self.chunk_index[chunk as usize] as usize;
+        let amu = self.amus[id].as_ref().expect("assigned ids are registered");
+        PhysAddr(amu.permutation().invert().apply(ha.raw()))
+    }
+
+    /// Storage of the two-level organization in bits:
+    /// `chunks × 8 + 256 × config_bits`.
+    pub fn storage_bits_two_level(&self) -> u64 {
+        let config_bits = self.configs[0].expect("identity registered").storage_bits() as u64;
+        self.num_chunks() * 8 + MAX_MAPPINGS as u64 * config_bits
+    }
+
+    /// Storage of the equivalent flat organization in bits:
+    /// `chunks × config_bits`.
+    pub fn storage_bits_flat(&self) -> u64 {
+        let config_bits = self.configs[0].expect("identity registered").storage_bits() as u64;
+        self.num_chunks() * config_bits
+    }
+
+    /// Number of distinct mapping ids currently registered.
+    pub fn registered_mappings(&self) -> usize {
+        self.configs.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swap_perm(a: usize, b: usize, n: usize) -> BitPermutation {
+        let mut table: Vec<u32> = (0..n as u32).collect();
+        table.swap(a, b);
+        BitPermutation::new(6, table).unwrap()
+    }
+
+    #[test]
+    fn paper_storage_numbers() {
+        let cmt = Cmt::paper_128gb();
+        assert_eq!(cmt.num_chunks(), 64 * 1024);
+        // 64K x 8b + 256 x 60b = 512 Kib + 15 Kib = 539,648 bits ≈ 67.9 KB.
+        assert_eq!(cmt.storage_bits_two_level(), 64 * 1024 * 8 + 256 * 60);
+        let kb = cmt.storage_bits_two_level() as f64 / 8.0 / 1000.0;
+        assert!(
+            (67.0..69.0).contains(&kb),
+            "two-level CMT should be ~68 KB, got {kb}"
+        );
+        // Flat: 64K x 60b = 480 KB (paper: 491 kB, same order).
+        let flat_kb = cmt.storage_bits_flat() as f64 / 8.0 / 1000.0;
+        assert!((450.0..500.0).contains(&flat_kb));
+        // Two-level is ~7x smaller.
+        assert!(cmt.storage_bits_flat() > 7 * cmt.storage_bits_two_level());
+    }
+
+    #[test]
+    fn default_chunks_are_identity() {
+        let cmt = Cmt::new(33, 21);
+        for pa in [0u64, 4096, (5 << 21) | 123] {
+            assert_eq!(cmt.translate(PhysAddr(pa)).raw(), pa);
+        }
+    }
+
+    #[test]
+    fn assignment_changes_only_that_chunk() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(7), &swap_perm(0, 1, 15));
+        cmt.assign_chunk(2, MappingId(7)).unwrap();
+        assert_eq!(cmt.chunk_mapping(2), MappingId(7));
+        assert_eq!(cmt.chunk_mapping(1), MappingId(0));
+        let in_chunk2 = PhysAddr((2 << 21) | (1 << 6));
+        assert_eq!(cmt.translate(in_chunk2).raw(), (2 << 21) | (1 << 7));
+        let in_chunk1 = PhysAddr((1 << 21) | (1 << 6));
+        assert_eq!(cmt.translate(in_chunk1).raw(), in_chunk1.raw());
+    }
+
+    #[test]
+    fn chunk_number_always_preserved() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(3), &swap_perm(0, 14, 15));
+        for c in 0..cmt.num_chunks() {
+            if c % 3 == 0 {
+                cmt.assign_chunk(c, MappingId(3)).unwrap();
+            }
+        }
+        for pa in (0..(1u64 << 33)).step_by(1 << 27) {
+            let ha = cmt.translate(PhysAddr(pa));
+            assert_eq!(ha.raw() >> 21, pa >> 21);
+        }
+    }
+
+    #[test]
+    fn translate_inverse_round_trips() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(1), &swap_perm(2, 9, 15));
+        cmt.assign_chunk(0, MappingId(1)).unwrap();
+        for pa in (0..(1u64 << 21)).step_by(0x3_077) {
+            let pa = PhysAddr(pa);
+            assert_eq!(cmt.translate_inverse(cmt.translate(pa)), pa);
+        }
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut cmt = Cmt::new(33, 21);
+        let err = cmt.assign_chunk(1 << 40, MappingId(0)).unwrap_err();
+        assert!(matches!(err, CmtError::ChunkOutOfRange { .. }));
+        let err = cmt.assign_chunk(0, MappingId(9)).unwrap_err();
+        assert_eq!(err, CmtError::UnregisteredMapping(MappingId(9)));
+        assert!(err.to_string().contains("map#9"));
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut cmt = Cmt::new(33, 21);
+        assert_eq!(cmt.registered_mappings(), 1);
+        cmt.register(MappingId(1), &swap_perm(0, 1, 15));
+        cmt.register(MappingId(1), &swap_perm(0, 2, 15));
+        assert_eq!(cmt.registered_mappings(), 2);
+        cmt.assign_chunk(0, MappingId(1)).unwrap();
+        assert_eq!(
+            cmt.translate(PhysAddr(1 << 6)).raw(),
+            1 << 8,
+            "second registration wins"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the chunk offset")]
+    fn wrong_window_rejected() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(1), &BitPermutation::identity(6, 8));
+    }
+}

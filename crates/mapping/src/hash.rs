@@ -1,0 +1,309 @@
+//! Hashing-based address mapping ("HM"): XOR entropy harvesting.
+//!
+//! After Liu et al., *Get Out of the Valley: Power-Efficient Address
+//! Mapping for GPUs* (ISCA '18) — the baseline the paper calls BS+HM.
+//! Each channel bit of the hardware address is XORed with a spread of
+//! higher address bits, so that *most* strides touch many channels
+//! without any profiling. The construction is the classic
+//! permutation-based interleaving of Zhang, Zhu & Zhang (MICRO-33):
+//! `ha_channel = pa_channel ^ h(pa_high_bits)`, which is trivially
+//! invertible because the high bits pass through unchanged.
+
+use sdam_hbm::{Geometry, HardwareAddr};
+
+use crate::{AddressMapping, PhysAddr};
+
+/// An XOR-folding PA→HA mapping.
+///
+/// For every channel-field bit `i`, the output bit is the input bit
+/// XORed with the parity of a source set taken from the bits above the
+/// channel field: `src(i) = { i + k · stride : k = 1.. }` limited to the
+/// address width. Every other bit passes through.
+///
+/// # Example
+///
+/// ```
+/// use sdam_hbm::Geometry;
+/// use sdam_mapping::{AddressMapping, HashMapping, PhysAddr};
+///
+/// let geom = Geometry::hbm2_8gb();
+/// let hm = HashMapping::for_geometry(geom);
+/// // Invertible on every address in range.
+/// for a in [0u64, 64, 4096, 123456789] {
+///     assert_eq!(hm.unmap(hm.map(PhysAddr(a))), PhysAddr(a));
+/// }
+/// // A power-of-two stride that pins the identity mapping to one
+/// // channel gets spread by the hash.
+/// let chans: std::collections::HashSet<u64> = (0..256u64)
+///     .map(|i| geom.decode(hm.map(PhysAddr(i * 64 * 32))).channel)
+///     .collect();
+/// assert!(chans.len() > 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashMapping {
+    /// For each channel bit (window-relative), the absolute source bits
+    /// XORed into it.
+    sources: Vec<Vec<u32>>,
+    channel_lo: u32,
+    channel_bits: u32,
+}
+
+impl HashMapping {
+    /// Builds the hash for a device geometry: channel bit `i` harvests
+    /// every `channel_bits`-strided bit above the channel field.
+    ///
+    /// This maximizes entropy in the channel selector for the
+    /// power-of-two strides that defeat the identity mapping, while
+    /// remaining a fixed function of the address (no profiling) — the
+    /// defining property of the paper's BS+HM baseline.
+    pub fn for_geometry(geom: Geometry) -> Self {
+        let channel_lo = geom.line_bits();
+        let channel_bits = geom.channel_bits();
+        let width = geom.addr_bits();
+        let sources = (0..channel_bits)
+            .map(|i| {
+                let mut v = Vec::new();
+                let mut b = channel_lo + channel_bits + i;
+                while b < width {
+                    v.push(b);
+                    b += channel_bits;
+                }
+                v
+            })
+            .collect();
+        HashMapping {
+            sources,
+            channel_lo,
+            channel_bits,
+        }
+    }
+
+    /// Builds a hash with explicit source sets (window-relative channel
+    /// bit index → absolute source bit positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != channel_bits as usize`, or if any
+    /// source bit lies inside the channel field itself (which would break
+    /// invertibility).
+    pub fn with_sources(channel_lo: u32, channel_bits: u32, sources: Vec<Vec<u32>>) -> Self {
+        assert_eq!(
+            sources.len(),
+            channel_bits as usize,
+            "one source set per channel bit"
+        );
+        for set in &sources {
+            for &b in set {
+                assert!(
+                    b < channel_lo || b >= channel_lo + channel_bits,
+                    "source bit {b} lies inside the channel field"
+                );
+            }
+        }
+        HashMapping {
+            sources,
+            channel_lo,
+            channel_bits,
+        }
+    }
+
+    fn fold(&self, addr: u64) -> u64 {
+        let mut out = addr;
+        for (i, set) in self.sources.iter().enumerate() {
+            let mut parity = 0u64;
+            for &b in set {
+                parity ^= (addr >> b) & 1;
+            }
+            out ^= parity << (self.channel_lo + i as u32);
+        }
+        out
+    }
+}
+
+/// Searches for a better XOR hash than the default fold, by greedy
+/// coordinate descent on worst-case channel coverage over power-of-two
+/// strides — the "more comprehensive hashing methods" the paper defers
+/// to future work (§7.3: a theoretically perfect hash bought <3 % over
+/// the default).
+///
+/// For each channel bit, the search toggles candidate source bits and
+/// keeps a toggle when it improves the minimum number of distinct
+/// channels touched across strides `1..=max_stride_lines` (128 accesses
+/// each). Deterministic and dependency-free.
+///
+/// # Panics
+///
+/// Panics if `max_stride_lines` is zero.
+pub fn optimize_hash(geom: Geometry, max_stride_lines: u64) -> HashMapping {
+    assert!(
+        max_stride_lines > 0,
+        "need at least one stride to optimize for"
+    );
+    let channel_lo = geom.line_bits();
+    let channel_bits = geom.channel_bits();
+    let width = geom.addr_bits();
+
+    let coverage = |hm: &HashMapping| -> usize {
+        (1..=max_stride_lines)
+            .map(|stride| {
+                let mut seen = std::collections::HashSet::new();
+                for i in 0..128u64 {
+                    seen.insert(geom.decode(hm.map(PhysAddr(i * stride * 64))).channel);
+                }
+                seen.len()
+            })
+            .min()
+            .unwrap_or(0)
+    };
+
+    let mut sources = HashMapping::for_geometry(geom).sources.clone();
+    let mut best = coverage(&HashMapping {
+        sources: sources.clone(),
+        channel_lo,
+        channel_bits,
+    });
+    for ch_bit in 0..channel_bits as usize {
+        for cand in (channel_lo + channel_bits)..width {
+            let mut trial = sources.clone();
+            if let Some(pos) = trial[ch_bit].iter().position(|&b| b == cand) {
+                trial[ch_bit].remove(pos);
+            } else {
+                trial[ch_bit].push(cand);
+            }
+            let hm = HashMapping {
+                sources: trial.clone(),
+                channel_lo,
+                channel_bits,
+            };
+            let c = coverage(&hm);
+            if c > best {
+                best = c;
+                sources = trial;
+            }
+        }
+    }
+    HashMapping {
+        sources,
+        channel_lo,
+        channel_bits,
+    }
+}
+
+impl AddressMapping for HashMapping {
+    fn map(&self, pa: PhysAddr) -> HardwareAddr {
+        HardwareAddr(self.fold(pa.0))
+    }
+
+    fn unmap(&self, ha: HardwareAddr) -> PhysAddr {
+        // XOR with the same parity inverts, because the source bits are
+        // outside the channel field and therefore unchanged by `fold`.
+        PhysAddr(self.fold(ha.0))
+    }
+
+    fn name(&self) -> &str {
+        "HM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn involution_round_trip() {
+        let hm = HashMapping::for_geometry(Geometry::hbm2_8gb());
+        for a in (0..100_000u64).step_by(977) {
+            assert_eq!(hm.unmap(hm.map(PhysAddr(a))), PhysAddr(a));
+        }
+    }
+
+    #[test]
+    fn hash_is_a_bijection_on_a_slab() {
+        let hm = HashMapping::for_geometry(Geometry::hbm2_8gb());
+        let mut seen = HashSet::new();
+        for a in 0..(1u64 << 14) {
+            assert!(seen.insert(hm.map(PhysAddr(a * 64)).raw()));
+        }
+    }
+
+    #[test]
+    fn spreads_power_of_two_strides() {
+        let geom = Geometry::hbm2_8gb();
+        let hm = HashMapping::for_geometry(geom);
+        for stride_lines in [32u64, 64, 128, 256] {
+            let chans: HashSet<u64> = (0..512u64)
+                .map(|i| geom.decode(hm.map(PhysAddr(i * stride_lines * 64))).channel)
+                .collect();
+            assert!(
+                chans.len() >= 16,
+                "stride {stride_lines}: only {} channels",
+                chans.len()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_still_uses_all_channels() {
+        let geom = Geometry::hbm2_8gb();
+        let hm = HashMapping::for_geometry(geom);
+        let chans: HashSet<u64> = (0..geom.num_channels() as u64)
+            .map(|i| geom.decode(hm.map(PhysAddr(i * 64))).channel)
+            .collect();
+        assert_eq!(chans.len(), geom.num_channels());
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the channel field")]
+    fn sources_inside_channel_field_rejected() {
+        let _ = HashMapping::with_sources(6, 5, vec![vec![7], vec![], vec![], vec![], vec![]]);
+    }
+
+    #[test]
+    fn optimized_hash_is_still_a_bijection() {
+        let geom = Geometry::hbm2_8gb();
+        let hm = optimize_hash(geom, 16);
+        for a in (0..200_000u64).step_by(4093) {
+            assert_eq!(hm.unmap(hm.map(PhysAddr(a))), PhysAddr(a));
+        }
+    }
+
+    #[test]
+    fn optimized_hash_never_worse_than_default() {
+        let geom = Geometry::hbm2_8gb();
+        let default = HashMapping::for_geometry(geom);
+        let tuned = optimize_hash(geom, 32);
+        let worst = |hm: &HashMapping| {
+            (1..=32u64)
+                .map(|stride| {
+                    let chans: HashSet<u64> = (0..128u64)
+                        .map(|i| geom.decode(hm.map(PhysAddr(i * stride * 64))).channel)
+                        .collect();
+                    chans.len()
+                })
+                .min()
+                .unwrap()
+        };
+        assert!(worst(&tuned) >= worst(&default));
+    }
+
+    #[test]
+    fn not_optimal_for_all_strides() {
+        // Paper §7.4: "the hashing function cannot cover all possible
+        // [patterns]". Find at least one stride where HM leaves channels
+        // idle — the gap SDAM closes.
+        let geom = Geometry::hbm2_8gb();
+        let hm = HashMapping::for_geometry(geom);
+        let mut worst = usize::MAX;
+        for stride in 1..=64u64 {
+            let chans: HashSet<u64> = (0..256u64)
+                .map(|i| geom.decode(hm.map(PhysAddr(i * stride * 64))).channel)
+                .collect();
+            worst = worst.min(chans.len());
+        }
+        assert!(
+            worst < geom.num_channels(),
+            "HM should not be universally optimal"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The [`AddressMapping`] trait and the boot-time default mapping.
+
+use sdam_hbm::HardwareAddr;
+
+use crate::PhysAddr;
+
+/// A PA→HA address mapping.
+///
+/// Implementations must be bijections on the address space they cover
+/// (the paper's functional-correctness requirement, §4): `unmap(map(pa))
+/// == pa` for every in-range `pa`. The trait is object-safe — the
+/// system model stores `Box<dyn AddressMapping>` per mapping id.
+pub trait AddressMapping: std::fmt::Debug + Send + Sync {
+    /// Maps a physical address to a hardware address.
+    fn map(&self, pa: PhysAddr) -> HardwareAddr;
+
+    /// Inverts the mapping.
+    fn unmap(&self, ha: HardwareAddr) -> PhysAddr;
+
+    /// A short human-readable name ("DM", "BSM", "HM", ...).
+    fn name(&self) -> &str;
+}
+
+/// The boot-time default mapping: PA bits pass straight through to HA.
+///
+/// With [`sdam_hbm::Geometry`]'s field layout (channel bits immediately
+/// above the line offset) this is the channel-interleaving default of
+/// commercial controllers and of the Xilinx HBM IP the paper's baseline
+/// ("BS+DM") uses: perfect for streaming, catastrophic for large strides.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mapping::{AddressMapping, IdentityMapping, PhysAddr};
+///
+/// let dm = IdentityMapping;
+/// assert_eq!(dm.map(PhysAddr(0x1234)).raw(), 0x1234);
+/// assert_eq!(dm.unmap(dm.map(PhysAddr(99))), PhysAddr(99));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdentityMapping;
+
+impl AddressMapping for IdentityMapping {
+    fn map(&self, pa: PhysAddr) -> HardwareAddr {
+        HardwareAddr(pa.0)
+    }
+
+    fn unmap(&self, ha: HardwareAddr) -> PhysAddr {
+        PhysAddr(ha.0)
+    }
+
+    fn name(&self) -> &str {
+        "DM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let m = IdentityMapping;
+        for a in [0u64, 1, 0xffff_ffff, 1 << 32] {
+            assert_eq!(m.unmap(m.map(PhysAddr(a))), PhysAddr(a));
+        }
+        assert_eq!(m.name(), "DM");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let m: Box<dyn AddressMapping> = Box::new(IdentityMapping);
+        assert_eq!(m.map(PhysAddr(7)).raw(), 7);
+    }
+
+    #[test]
+    fn identity_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IdentityMapping>();
+        assert_send_sync::<Box<dyn AddressMapping>>();
+    }
+}

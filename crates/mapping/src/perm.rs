@@ -1,0 +1,254 @@
+//! Validated bit permutations — the software view of the AMU crossbar.
+//!
+//! The AMU (paper §5.2) is an `n × n` crossbar over the chunk-offset
+//! bits, constrained to have exactly one closed switch per column. That
+//! constraint is precisely "the configuration is a permutation", which
+//! in turn is what guarantees the PA→HA mapping is invertible
+//! (the paper's intra-chunk functional-correctness argument, §4).
+
+/// Errors from constructing a [`BitPermutation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// The permutation table was empty.
+    Empty,
+    /// An entry referenced a source bit outside `0..len`.
+    SourceOutOfRange {
+        /// Destination index with the offending entry.
+        dest: usize,
+        /// The out-of-range source.
+        source: usize,
+    },
+    /// Two destinations read the same source bit — two closed switches
+    /// in one crossbar column.
+    DuplicateSource {
+        /// The duplicated source bit.
+        source: usize,
+    },
+}
+
+impl std::fmt::Display for PermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PermError::Empty => write!(f, "permutation table is empty"),
+            PermError::SourceOutOfRange { dest, source } => write!(
+                f,
+                "destination bit {dest} reads source bit {source}, which is out of range"
+            ),
+            PermError::DuplicateSource { source } => write!(
+                f,
+                "source bit {source} is routed to two destinations (two closed switches in a column)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+/// A permutation of the bit positions `[lo, lo + len)` of an address.
+///
+/// Destination bit `lo + i` of the output takes source bit
+/// `lo + table[i]` of the input; bits outside the window pass through
+/// unchanged. This matches the AMU, which permutes only the chunk
+/// offset while the chunk number is copied verbatim.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mapping::BitPermutation;
+///
+/// // Swap bits 6 and 7 of an address.
+/// let p = BitPermutation::new(6, vec![1, 0])?;
+/// assert_eq!(p.apply(0b01_000000), 0b10_000000);
+/// assert_eq!(p.invert().apply(p.apply(12345)), 12345);
+/// # Ok::<(), sdam_mapping::PermError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitPermutation {
+    lo: u32,
+    table: Vec<u32>,
+}
+
+impl BitPermutation {
+    /// Creates a permutation of bits `[lo, lo + table.len())`, where
+    /// `table[i]` is the *window-relative* source of destination bit `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PermError`] if the table is empty, references a source
+    /// outside the window, or routes one source to two destinations.
+    pub fn new(lo: u32, table: Vec<u32>) -> Result<Self, PermError> {
+        if table.is_empty() {
+            return Err(PermError::Empty);
+        }
+        let n = table.len();
+        let mut seen = vec![false; n];
+        for (dest, &src) in table.iter().enumerate() {
+            let src = src as usize;
+            if src >= n {
+                return Err(PermError::SourceOutOfRange { dest, source: src });
+            }
+            if seen[src] {
+                return Err(PermError::DuplicateSource { source: src });
+            }
+            seen[src] = true;
+        }
+        Ok(BitPermutation { lo, table })
+    }
+
+    /// The identity permutation over `[lo, lo + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn identity(lo: u32, len: usize) -> Self {
+        assert!(len > 0, "permutation window must be non-empty");
+        BitPermutation {
+            lo,
+            table: (0..len as u32).collect(),
+        }
+    }
+
+    /// First bit of the permuted window.
+    #[inline]
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Window width in bits (the crossbar dimension `n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Always false: permutations are validated non-empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Window-relative source bit for each destination bit.
+    #[inline]
+    pub fn table(&self) -> &[u32] {
+        &self.table
+    }
+
+    /// True if this is the identity routing.
+    pub fn is_identity(&self) -> bool {
+        self.table.iter().enumerate().all(|(i, &s)| i as u32 == s)
+    }
+
+    /// Applies the permutation to an address.
+    pub fn apply(&self, addr: u64) -> u64 {
+        let n = self.table.len() as u32;
+        let mask = ((1u64 << n) - 1) << self.lo;
+        let window = (addr & mask) >> self.lo;
+        let mut out = 0u64;
+        for (dest, &src) in self.table.iter().enumerate() {
+            out |= ((window >> src) & 1) << dest;
+        }
+        (addr & !mask) | (out << self.lo)
+    }
+
+    /// Returns the inverse permutation, such that
+    /// `p.invert().apply(p.apply(a)) == a` for every address.
+    pub fn invert(&self) -> BitPermutation {
+        let mut inv = vec![0u32; self.table.len()];
+        for (dest, &src) in self.table.iter().enumerate() {
+            inv[src as usize] = dest as u32;
+        }
+        BitPermutation {
+            lo: self.lo,
+            table: inv,
+        }
+    }
+
+    /// Composes two permutations over the same window:
+    /// `a.compose(&b).apply(x) == b.apply(a.apply(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows differ.
+    pub fn compose(&self, then: &BitPermutation) -> BitPermutation {
+        assert_eq!(self.lo, then.lo, "window mismatch");
+        assert_eq!(self.table.len(), then.table.len(), "window mismatch");
+        // Output bit d of `then` reads its input bit then.table[d], which
+        // is output bit then.table[d] of `self`, which reads source
+        // self.table[then.table[d]].
+        let table = then
+            .table
+            .iter()
+            .map(|&mid| self.table[mid as usize])
+            .collect();
+        BitPermutation { lo: self.lo, table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_tables() {
+        assert_eq!(BitPermutation::new(0, vec![]), Err(PermError::Empty));
+        assert!(matches!(
+            BitPermutation::new(0, vec![0, 2]),
+            Err(PermError::SourceOutOfRange { dest: 1, source: 2 })
+        ));
+        assert!(matches!(
+            BitPermutation::new(0, vec![1, 1]),
+            Err(PermError::DuplicateSource { source: 1 })
+        ));
+    }
+
+    #[test]
+    fn identity_leaves_addresses_unchanged() {
+        let p = BitPermutation::identity(6, 15);
+        assert!(p.is_identity());
+        for a in [0u64, 0x3f, 0xdead_beef, u64::MAX >> 8] {
+            assert_eq!(p.apply(a), a);
+        }
+    }
+
+    #[test]
+    fn apply_moves_bits_and_preserves_outside() {
+        // Rotate a 3-bit window at lo=4 left by one: dest i <- src i-1.
+        let p = BitPermutation::new(4, vec![2, 0, 1]).unwrap();
+        let addr = 0b001_0000u64; // window = 0b001
+                                  // dest0 <- src2 = 0, dest1 <- src0 = 1, dest2 <- src1 = 0.
+        assert_eq!(p.apply(addr), 0b010_0000);
+        // Bits outside the window untouched.
+        let addr = 0b1000_0000_1111u64;
+        assert_eq!(p.apply(addr) & !(0b111 << 4), addr & !(0b111 << 4));
+    }
+
+    #[test]
+    fn inverse_round_trips_every_window_value() {
+        let p = BitPermutation::new(6, vec![3, 1, 4, 0, 2]).unwrap();
+        let inv = p.invert();
+        for w in 0..(1u64 << 5) {
+            let addr = (w << 6) | 0b101010;
+            assert_eq!(inv.apply(p.apply(addr)), addr);
+            assert_eq!(p.apply(inv.apply(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = BitPermutation::new(0, vec![1, 2, 3, 0]).unwrap();
+        let b = BitPermutation::new(0, vec![3, 2, 1, 0]).unwrap();
+        let c = a.compose(&b);
+        for x in 0..16u64 {
+            assert_eq!(c.apply(x), b.apply(a.apply(x)));
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijection_on_window() {
+        let p = BitPermutation::new(0, vec![4, 2, 0, 3, 1]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..(1u64 << 5) {
+            assert!(seen.insert(p.apply(x)), "collision at {x}");
+        }
+        assert_eq!(seen.len(), 32);
+    }
+}

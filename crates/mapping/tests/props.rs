@@ -1,0 +1,56 @@
+//! Property tests local to the mapping layer: permutation group laws,
+//! descriptor compilation, and hash-optimizer invariants.
+
+use proptest::prelude::*;
+use sdam_hbm::Geometry;
+use sdam_mapping::descriptor::MappingDescriptor;
+use sdam_mapping::{optimize_hash, AddressMapping, BitPermutation, PhysAddr};
+
+fn perm(n: usize) -> impl Strategy<Value = BitPermutation> {
+    Just((0..n as u32).collect::<Vec<u32>>())
+        .prop_shuffle()
+        .prop_map(|t| BitPermutation::new(6, t).expect("shuffled identity is valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permutations_form_a_group(a in perm(12), b in perm(12), x in any::<u64>()) {
+        // Closure + identity + inverse, checked pointwise.
+        let ab = a.compose(&b);
+        prop_assert_eq!(ab.apply(x), b.apply(a.apply(x)));
+        let id = BitPermutation::identity(6, 12);
+        prop_assert_eq!(a.compose(&id).apply(x), a.apply(x));
+        prop_assert_eq!(id.compose(&a).apply(x), a.apply(x));
+        prop_assert_eq!(a.compose(&a.invert()).apply(x), x);
+        prop_assert_eq!(a.invert().invert().apply(x), a.apply(x));
+    }
+
+    #[test]
+    fn descriptor_channel_bits_always_land(channel_sources in proptest::collection::btree_set(6u32..21, 1..5)) {
+        let geom = Geometry::hbm2_8gb();
+        let sources: Vec<u32> = channel_sources.into_iter().collect();
+        let perm = MappingDescriptor::new(geom)
+            .channel_bits(sources.iter().copied())
+            .compile_windowed(21)
+            .expect("disjoint in-window bits compile");
+        let m = sdam_mapping::BitShuffleMapping::new(perm);
+        // Toggling a named source bit toggles exactly the requested
+        // channel lane.
+        for (lane, &src) in sources.iter().enumerate() {
+            let d0 = geom.decode(m.map(PhysAddr(0)));
+            let d1 = geom.decode(m.map(PhysAddr(1 << src)));
+            prop_assert_eq!(d0.channel ^ d1.channel, 1 << lane, "source bit {} lane {}", src, lane);
+        }
+    }
+
+    #[test]
+    fn optimized_hash_stays_invertible(max_stride in 1u64..24) {
+        let geom = Geometry::hbm2_8gb();
+        let hm = optimize_hash(geom, max_stride);
+        for a in (0..(1u64 << 22)).step_by(0x1_86a1) {
+            prop_assert_eq!(hm.unmap(hm.map(PhysAddr(a))), PhysAddr(a));
+        }
+    }
+}

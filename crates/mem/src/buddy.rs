@@ -1,0 +1,240 @@
+//! A binary buddy allocator over the pages of one chunk.
+//!
+//! The paper keeps Linux's buddy allocator for frame management inside
+//! chunks and for returning empty chunks to the global pool (§6.1,
+//! "Physical Page Allocator"). This is that allocator: blocks of
+//! `2^order` pages, split on demand, coalesced with their buddy on free.
+
+/// A buddy allocator managing `2^max_order` pages.
+///
+/// Offsets are page indices within the managed region. The allocator is
+/// deterministic: the lowest available block is always chosen.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mem::buddy::BuddyAllocator;
+///
+/// let mut b = BuddyAllocator::new(4); // 16 pages
+/// let a = b.alloc(0).unwrap(); // one page
+/// let c = b.alloc(2).unwrap(); // four pages
+/// assert_ne!(a, c);
+/// b.free(a, 0);
+/// b.free(c, 2);
+/// assert!(b.is_empty());
+/// // Everything coalesced back: a full-size block is available again.
+/// assert_eq!(b.alloc(4), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    max_order: u32,
+    /// free_lists[order] = sorted set of free block offsets of that order.
+    free_lists: Vec<std::collections::BTreeSet<u64>>,
+    allocated_pages: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over `2^max_order` pages, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order > 30`.
+    pub fn new(max_order: u32) -> Self {
+        assert!(max_order <= 30, "unreasonable buddy region");
+        let mut free_lists = vec![std::collections::BTreeSet::new(); (max_order + 1) as usize];
+        free_lists[max_order as usize].insert(0);
+        BuddyAllocator {
+            max_order,
+            free_lists,
+            allocated_pages: 0,
+        }
+    }
+
+    /// Total pages managed.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        1u64 << self.max_order
+    }
+
+    /// Pages currently allocated.
+    #[inline]
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated_pages
+    }
+
+    /// Pages currently free.
+    #[inline]
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages() - self.allocated_pages
+    }
+
+    /// True when nothing is allocated — the condition under which the
+    /// kernel returns the chunk to the global free list.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.allocated_pages == 0
+    }
+
+    /// True when every page is allocated.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.allocated_pages == self.total_pages()
+    }
+
+    /// Allocates a block of `2^order` pages, returning its page offset.
+    ///
+    /// Returns `None` if no block of sufficient order is free
+    /// (even when enough fragmented pages exist — that is the point of
+    /// buddy allocation).
+    pub fn alloc(&mut self, order: u32) -> Option<u64> {
+        if order > self.max_order {
+            return None;
+        }
+        // Find the smallest order >= requested with a free block.
+        let from = (order..=self.max_order).find(|&o| !self.free_lists[o as usize].is_empty())?;
+        let mut offset = *self.free_lists[from as usize]
+            .iter()
+            .next()
+            .expect("non-empty");
+        self.free_lists[from as usize].remove(&offset);
+        // Split down to the requested order, keeping the low half.
+        let mut o = from;
+        while o > order {
+            o -= 1;
+            let buddy = offset + (1u64 << o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        let _ = &mut offset;
+        self.allocated_pages += 1u64 << order;
+        Some(offset)
+    }
+
+    /// Frees the block of `2^order` pages at `offset`, coalescing with
+    /// free buddies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is misaligned for its order, out of range, or
+    /// already free (double free).
+    pub fn free(&mut self, offset: u64, order: u32) {
+        assert!(order <= self.max_order, "order out of range");
+        assert_eq!(offset % (1u64 << order), 0, "misaligned free");
+        assert!(offset < self.total_pages(), "offset out of range");
+        // Double-free detection: the block, or any free block that
+        // contains it (after earlier coalescing), must not be free.
+        for o in order..=self.max_order {
+            let aligned = offset & !((1u64 << o) - 1);
+            assert!(
+                !self.free_lists[o as usize].contains(&aligned),
+                "double free of block {offset} order {order}"
+            );
+        }
+        self.allocated_pages = self
+            .allocated_pages
+            .checked_sub(1u64 << order)
+            .expect("freeing more than allocated");
+        let mut offset = offset;
+        let mut order = order;
+        while order < self.max_order {
+            let buddy = offset ^ (1u64 << order);
+            if !self.free_lists[order as usize].remove(&buddy) {
+                break;
+            }
+            offset = offset.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(offset);
+    }
+
+    /// The largest order currently allocatable.
+    pub fn largest_free_order(&self) -> Option<u32> {
+        (0..=self.max_order)
+            .rev()
+            .find(|&o| !self.free_lists[o as usize].is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_whole_region() {
+        let mut b = BuddyAllocator::new(3);
+        assert_eq!(b.alloc(3), Some(0));
+        assert!(b.is_full());
+        assert_eq!(b.alloc(0), None);
+        b.free(0, 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_produces_disjoint_blocks() {
+        let mut b = BuddyAllocator::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let p = b.alloc(0).unwrap();
+            assert!(seen.insert(p), "page {p} handed out twice");
+        }
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn coalescing_restores_max_order() {
+        let mut b = BuddyAllocator::new(4);
+        let pages: Vec<u64> = (0..16).map(|_| b.alloc(0).unwrap()).collect();
+        for &p in pages.iter().rev() {
+            b.free(p, 0);
+        }
+        assert_eq!(b.largest_free_order(), Some(4));
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_allocs() {
+        let mut b = BuddyAllocator::new(2); // 4 pages
+        let p0 = b.alloc(0).unwrap();
+        let p1 = b.alloc(0).unwrap();
+        let _p2 = b.alloc(0).unwrap();
+        b.free(p0, 0);
+        b.free(p1, 0); // p0+p1 coalesce into an order-1 block
+        assert_eq!(b.free_pages(), 3);
+        assert_eq!(b.alloc(2), None, "3 free pages but no order-2 block");
+        assert!(b.alloc(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(2);
+        let p = b.alloc(1).unwrap();
+        b.free(p, 1);
+        b.free(p, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(3);
+        let _ = b.alloc(0);
+        b.free(1, 1);
+    }
+
+    #[test]
+    fn interleaved_alloc_free_keeps_accounting() {
+        let mut b = BuddyAllocator::new(5);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for round in 0..50u32 {
+            let order = round % 3;
+            if let Some(p) = b.alloc(order) {
+                live.push((p, order));
+            }
+            if round % 2 == 1 {
+                if let Some((p, o)) = live.pop() {
+                    b.free(p, o);
+                }
+            }
+            let live_pages: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+            assert_eq!(b.allocated_pages(), live_pages);
+        }
+    }
+}

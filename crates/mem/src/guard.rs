@@ -1,0 +1,232 @@
+//! Guard-row allocation: the paper's sketched rowhammer mitigation.
+//!
+//! Paper §4: "we can mitigate the row hammer attack by adding guard rows
+//! to the sensitive data to ensure the strong physical isolation between
+//! data belonging to different security domains" (after Brasser et al.,
+//! USENIX Security '17). The paper defers the full study to future
+//! work; we implement the allocation policy it sketches: when a chunk is
+//! marked *sensitive*, the rows physically adjacent to its rows are
+//! reserved and never handed to another security domain.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A security domain label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DomainId(pub u32);
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dom#{}", self.0)
+    }
+}
+
+/// Tracks row ownership per (channel, bank) and enforces guard rows
+/// around sensitive domains.
+///
+/// Rows are identified by `(channel, bank, row)` coordinates; the policy
+/// is purely about *adjacency within a bank*, which is what rowhammer
+/// exploits.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mem::guard::{DomainId, GuardRowPolicy};
+///
+/// let mut g = GuardRowPolicy::new();
+/// let secret = DomainId(1);
+/// let attacker = DomainId(2);
+/// g.claim(0, 0, 100, secret, true).unwrap();
+/// // Rows 99 and 101 are now guards: the attacker cannot claim them.
+/// assert!(g.claim(0, 0, 101, attacker, false).is_err());
+/// assert!(g.claim(0, 0, 102, attacker, false).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GuardRowPolicy {
+    /// (channel, bank) → row → owning domain.
+    owners: BTreeMap<(u64, u64), BTreeMap<u64, DomainId>>,
+    /// (channel, bank) → guard rows and the domain they protect.
+    guards: BTreeMap<(u64, u64), BTreeMap<u64, DomainId>>,
+    /// Rows reserved as guards (wasted capacity), for accounting.
+    guard_rows: BTreeSet<(u64, u64, u64)>,
+}
+
+/// Error: the requested row is unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardViolation {
+    /// The row that could not be claimed.
+    pub row: u64,
+    /// The domain whose data or guards block the claim.
+    pub blocking_domain: DomainId,
+}
+
+impl std::fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "row {} unavailable: isolated for {}",
+            self.row, self.blocking_domain
+        )
+    }
+}
+
+impl std::error::Error for GuardViolation {}
+
+impl GuardRowPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        GuardRowPolicy::default()
+    }
+
+    /// Claims a row for `domain`. If `sensitive`, the adjacent rows
+    /// (`row ± 1`) become guards for this domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuardViolation`] if the row is owned by, or guards,
+    /// a *different* domain. A domain may freely use its own guard rows
+    /// (self-hammering is its own problem).
+    pub fn claim(
+        &mut self,
+        channel: u64,
+        bank: u64,
+        row: u64,
+        domain: DomainId,
+        sensitive: bool,
+    ) -> Result<(), GuardViolation> {
+        let key = (channel, bank);
+        if let Some(&owner) = self.owners.get(&key).and_then(|m| m.get(&row)) {
+            if owner != domain {
+                return Err(GuardViolation {
+                    row,
+                    blocking_domain: owner,
+                });
+            }
+        }
+        if let Some(&protected) = self.guards.get(&key).and_then(|m| m.get(&row)) {
+            if protected != domain {
+                return Err(GuardViolation {
+                    row,
+                    blocking_domain: protected,
+                });
+            }
+        }
+        self.owners.entry(key).or_default().insert(row, domain);
+        if sensitive {
+            for adj in [row.checked_sub(1), row.checked_add(1)]
+                .into_iter()
+                .flatten()
+            {
+                // Guard only rows not already owned by this domain.
+                let owned_by_self = self
+                    .owners
+                    .get(&key)
+                    .and_then(|m| m.get(&adj))
+                    .is_some_and(|&d| d == domain);
+                if !owned_by_self {
+                    self.guards.entry(key).or_default().insert(adj, domain);
+                    self.guard_rows.insert((channel, bank, adj));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases a row (and any guards it created for `domain` that no
+    /// longer protect a sensitive row).
+    pub fn release(&mut self, channel: u64, bank: u64, row: u64) {
+        let key = (channel, bank);
+        let Some(owners) = self.owners.get_mut(&key) else {
+            return;
+        };
+        let Some(domain) = owners.remove(&row) else {
+            return;
+        };
+        // Drop guards adjacent to this row if no neighbouring sensitive
+        // row of the same domain still needs them.
+        if let Some(guards) = self.guards.get_mut(&key) {
+            for adj in [row.checked_sub(1), row.checked_add(1)]
+                .into_iter()
+                .flatten()
+            {
+                let still_needed = [adj.checked_sub(1), adj.checked_add(1)]
+                    .into_iter()
+                    .flatten()
+                    .any(|n| n != row && owners.get(&n) == Some(&domain));
+                if !still_needed && guards.get(&adj) == Some(&domain) {
+                    guards.remove(&adj);
+                    self.guard_rows.remove(&(channel, bank, adj));
+                }
+            }
+        }
+    }
+
+    /// Number of rows reserved as guards (capacity overhead).
+    pub fn guard_row_count(&self) -> usize {
+        self.guard_rows.len()
+    }
+
+    /// True if `(channel, bank, row)` is currently a guard row.
+    pub fn is_guard(&self, channel: u64, bank: u64, row: u64) -> bool {
+        self.guard_rows.contains(&(channel, bank, row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitive_rows_get_guards() {
+        let mut g = GuardRowPolicy::new();
+        g.claim(0, 0, 10, DomainId(1), true).unwrap();
+        assert!(g.is_guard(0, 0, 9));
+        assert!(g.is_guard(0, 0, 11));
+        assert_eq!(g.guard_row_count(), 2);
+    }
+
+    #[test]
+    fn other_domain_blocked_from_guards_and_owned_rows() {
+        let mut g = GuardRowPolicy::new();
+        g.claim(0, 0, 10, DomainId(1), true).unwrap();
+        let e = g.claim(0, 0, 10, DomainId(2), false).unwrap_err();
+        assert_eq!(e.blocking_domain, DomainId(1));
+        assert!(g.claim(0, 0, 9, DomainId(2), false).is_err());
+        assert!(g.claim(0, 0, 11, DomainId(2), false).is_err());
+        assert!(g.claim(0, 0, 12, DomainId(2), false).is_ok());
+    }
+
+    #[test]
+    fn same_domain_may_use_its_guards() {
+        let mut g = GuardRowPolicy::new();
+        g.claim(0, 0, 10, DomainId(1), true).unwrap();
+        assert!(g.claim(0, 0, 11, DomainId(1), false).is_ok());
+    }
+
+    #[test]
+    fn different_banks_do_not_interfere() {
+        let mut g = GuardRowPolicy::new();
+        g.claim(0, 0, 10, DomainId(1), true).unwrap();
+        assert!(g.claim(0, 1, 11, DomainId(2), false).is_ok());
+        assert!(g.claim(1, 0, 11, DomainId(2), false).is_ok());
+    }
+
+    #[test]
+    fn release_frees_guards() {
+        let mut g = GuardRowPolicy::new();
+        g.claim(0, 0, 10, DomainId(1), true).unwrap();
+        g.release(0, 0, 10);
+        assert_eq!(g.guard_row_count(), 0);
+        assert!(g.claim(0, 0, 9, DomainId(2), false).is_ok());
+    }
+
+    #[test]
+    fn release_keeps_guards_needed_by_neighbours() {
+        let mut g = GuardRowPolicy::new();
+        g.claim(0, 0, 10, DomainId(1), true).unwrap();
+        g.claim(0, 0, 12, DomainId(1), true).unwrap();
+        // Row 11 guards both 10 and 12.
+        g.release(0, 0, 10);
+        assert!(g.is_guard(0, 0, 11), "row 11 still guards row 12");
+        assert!(!g.is_guard(0, 0, 9), "row 9 guarded nothing anymore");
+    }
+}

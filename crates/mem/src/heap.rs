@@ -1,0 +1,531 @@
+//! The mapping-aware multi-heap `malloc` (the paper's glibc side).
+//!
+//! The paper extends glibc so that each heap is associated with one
+//! address mapping (§6.1, Fig. 8): `add_addr_map()` registers a mapping
+//! and returns its id; `malloc(size, id)` allocates from a heap of that
+//! mapping, creating a new heap when none has room. Heaps are
+//! page-aligned and allocate/free independently, so *every page contains
+//! data of exactly one mapping* — the property that lets the kernel back
+//! each heap with chunks of a single chunk group.
+//!
+//! Inside a heap we run a first-fit free-list allocator with coalescing
+//! (a faithful stand-in for glibc's bins at the granularity that matters
+//! here).
+
+use std::collections::BTreeMap;
+
+use sdam_mapping::MappingId;
+
+use crate::{MemError, VirtAddr};
+
+/// Default size of a newly created heap (glibc's per-thread heaps are
+/// 64 MB; we default smaller so tests exercise heap growth).
+pub const DEFAULT_HEAP_BYTES: u64 = 1 << 22;
+
+/// Base virtual address of the first heap.
+const HEAP_BASE: u64 = 1 << 44;
+
+/// Allocation alignment in bytes.
+const ALIGN: u64 = 16;
+
+/// A heap region: what the allocator asks the kernel to `mmap` with its
+/// mapping id (the "heap-mapping array" entry of the paper's Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapRegion {
+    /// Page-aligned start of the heap.
+    pub start: VirtAddr,
+    /// Page-aligned length.
+    pub len: u64,
+    /// The mapping whose chunk group backs this heap.
+    pub mapping: MappingId,
+    /// True for guard-isolated (rowhammer-sensitive) heaps.
+    pub sensitive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Heap {
+    region: HeapRegion,
+    /// start → len of free blocks.
+    free: BTreeMap<u64, u64>,
+    /// start → len of live allocations.
+    allocs: BTreeMap<u64, u64>,
+}
+
+impl Heap {
+    fn new(region: HeapRegion, header_bytes: u64) -> Self {
+        let mut free = BTreeMap::new();
+        // The heap header (glibc: `heap_info` + arena metadata) keeps
+        // user data off the region start. Beyond realism, the staggered
+        // per-heap header decorrelates equal-index streams of different
+        // variables, which would otherwise share every channel.
+        let header = header_bytes.min(region.len.saturating_sub(ALIGN));
+        free.insert(region.start.0 + header, region.len - header);
+        Heap {
+            region,
+            free,
+            allocs: BTreeMap::new(),
+        }
+    }
+
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        // First fit.
+        let (&start, &len) = self.free.iter().find(|&(_, &len)| len >= size)?;
+        self.free.remove(&start);
+        if len > size {
+            self.free.insert(start + size, len - size);
+        }
+        self.allocs.insert(start, size);
+        Some(start)
+    }
+
+    fn free_block(&mut self, addr: u64) -> bool {
+        let Some(size) = self.allocs.remove(&addr) else {
+            return false;
+        };
+        // Coalesce with successor.
+        let mut start = addr;
+        let mut len = size;
+        if let Some(&next_len) = self.free.get(&(addr + size)) {
+            self.free.remove(&(addr + size));
+            len += next_len;
+        }
+        // Coalesce with predecessor.
+        if let Some((&prev_start, &prev_len)) = self.free.range(..addr).next_back() {
+            if prev_start + prev_len == addr {
+                self.free.remove(&prev_start);
+                start = prev_start;
+                len += prev_len;
+            }
+        }
+        self.free.insert(start, len);
+        true
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.allocs.values().sum()
+    }
+}
+
+/// The multi-heap allocator.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mem::heap::MultiHeapMalloc;
+///
+/// let mut m = MultiHeapMalloc::new(12);
+/// let stream_map = m.add_addr_map()?;
+/// let random_map = m.add_addr_map()?;
+/// let a = m.malloc(1024, Some(stream_map))?;
+/// let b = m.malloc(1024, Some(random_map))?;
+/// // Different mappings live in different heaps, hence different pages.
+/// assert_ne!(a.vpn(12), b.vpn(12));
+/// m.free(a)?;
+/// m.free(b)?;
+/// # Ok::<(), sdam_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiHeapMalloc {
+    page_bits: u32,
+    heap_bytes: u64,
+    heaps: Vec<Heap>,
+    /// Mapping id → indices into `heaps` (the heap-mapping array).
+    by_mapping: BTreeMap<MappingId, Vec<usize>>,
+    registered: Vec<MappingId>,
+    next_mapping: u16,
+    next_region: u64,
+    new_regions: Vec<HeapRegion>,
+}
+
+impl MultiHeapMalloc {
+    /// Creates an allocator for `2^page_bits`-byte pages with the
+    /// default heap size.
+    pub fn new(page_bits: u32) -> Self {
+        Self::with_heap_bytes(page_bits, DEFAULT_HEAP_BYTES)
+    }
+
+    /// Creates an allocator with a custom heap growth unit (rounded up
+    /// to a page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_bytes` is zero.
+    pub fn with_heap_bytes(page_bits: u32, heap_bytes: u64) -> Self {
+        assert!(heap_bytes > 0, "heap size must be non-zero");
+        let page = 1u64 << page_bits;
+        let heap_bytes = heap_bytes.div_ceil(page) * page;
+        MultiHeapMalloc {
+            page_bits,
+            heap_bytes,
+            heaps: Vec::new(),
+            by_mapping: BTreeMap::new(),
+            registered: vec![MappingId::DEFAULT],
+            next_mapping: 1,
+            next_region: HEAP_BASE,
+            new_regions: Vec::new(),
+        }
+    }
+
+    /// Registers a new address mapping, returning its id — the paper's
+    /// `add_addr_map()` API.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::MappingIdsExhausted`] after 255 registrations (id 0
+    /// is the pre-registered default).
+    pub fn add_addr_map(&mut self) -> Result<MappingId, MemError> {
+        if self.next_mapping > u8::MAX as u16 {
+            return Err(MemError::MappingIdsExhausted);
+        }
+        let id = MappingId(self.next_mapping as u8);
+        self.next_mapping += 1;
+        self.registered.push(id);
+        Ok(id)
+    }
+
+    /// Registers an externally assigned mapping id (used when the id
+    /// space is owned by a global authority — the CMT is shared by all
+    /// processes, so ids must be, too). Idempotent.
+    pub fn register_external(&mut self, id: MappingId) {
+        if !self.registered.contains(&id) {
+            self.registered.push(id);
+            self.next_mapping = self.next_mapping.max(id.0 as u16 + 1);
+        }
+    }
+
+    /// Registered mapping ids, in registration order (id 0 first).
+    pub fn registered_mappings(&self) -> &[MappingId] {
+        &self.registered
+    }
+
+    /// Allocates `size` bytes from a heap of `mapping` (the default
+    /// mapping when `None` — the unmodified `malloc(size)` signature).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::InvalidSize`] for zero sizes;
+    /// [`MemError::UnknownMapping`] for unregistered ids.
+    pub fn malloc(&mut self, size: u64, mapping: Option<MappingId>) -> Result<VirtAddr, MemError> {
+        self.malloc_with(size, mapping, false)
+    }
+
+    /// Allocates from a guard-isolated (rowhammer-sensitive) heap: its
+    /// backing chunks get physical guard chunks around them (see
+    /// [`crate::phys::ChunkAllocator::alloc_block_sensitive`]). Sensitive
+    /// and ordinary data never share a heap, hence never a chunk.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiHeapMalloc::malloc`].
+    pub fn malloc_sensitive(
+        &mut self,
+        size: u64,
+        mapping: Option<MappingId>,
+    ) -> Result<VirtAddr, MemError> {
+        self.malloc_with(size, mapping, true)
+    }
+
+    fn malloc_with(
+        &mut self,
+        size: u64,
+        mapping: Option<MappingId>,
+        sensitive: bool,
+    ) -> Result<VirtAddr, MemError> {
+        let mapping = mapping.unwrap_or(MappingId::DEFAULT);
+        if size == 0 {
+            return Err(MemError::InvalidSize { size });
+        }
+        if !self.registered.contains(&mapping) {
+            return Err(MemError::UnknownMapping(mapping));
+        }
+        let size = size.div_ceil(ALIGN) * ALIGN;
+        // Try existing heaps of this mapping and sensitivity.
+        if let Some(idxs) = self.by_mapping.get(&mapping) {
+            for &i in idxs {
+                if self.heaps[i].region.sensitive != sensitive {
+                    continue;
+                }
+                if let Some(addr) = self.heaps[i].alloc(size) {
+                    return Ok(VirtAddr(addr));
+                }
+            }
+        }
+        // Create a new heap large enough for the request plus its
+        // staggered header (1..=31 cache lines, varying per heap).
+        let idx = self.heaps.len();
+        let header_bytes = ((idx as u64 * 7) % 31 + 1) * 64;
+        let heap_len = self.heap_bytes.max(self.round_to_page(size + header_bytes));
+        let region = HeapRegion {
+            start: VirtAddr(self.next_region),
+            len: heap_len,
+            mapping,
+            sensitive,
+        };
+        // Guard page between heaps.
+        self.next_region += heap_len + (1u64 << self.page_bits);
+        self.heaps.push(Heap::new(region, header_bytes));
+        self.by_mapping.entry(mapping).or_default().push(idx);
+        self.new_regions.push(region);
+        let addr = self.heaps[idx]
+            .alloc(size)
+            .expect("fresh heap fits the request");
+        Ok(VirtAddr(addr))
+    }
+
+    /// Frees an allocation. Finds the owning heap by address range, as
+    /// the paper's `free()` does by comparing against `ar_ptr` and size.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadFree`] if `va` is not a live allocation start.
+    pub fn free(&mut self, va: VirtAddr) -> Result<(), MemError> {
+        let Some(heap) = self.heap_index_of(va) else {
+            return Err(MemError::BadFree(va));
+        };
+        if self.heaps[heap].free_block(va.0) {
+            Ok(())
+        } else {
+            Err(MemError::BadFree(va))
+        }
+    }
+
+    /// The heap region containing `va`, if any — the range the kernel
+    /// must have mmapped with the heap's mapping id.
+    pub fn heap_region(&self, va: VirtAddr) -> Option<HeapRegion> {
+        self.heap_index_of(va).map(|i| self.heaps[i].region)
+    }
+
+    /// The mapping of the heap containing `va`.
+    pub fn mapping_of(&self, va: VirtAddr) -> Option<MappingId> {
+        self.heap_region(va).map(|r| r.mapping)
+    }
+
+    /// The size of the live allocation starting exactly at `va`.
+    pub fn size_of(&self, va: VirtAddr) -> Option<u64> {
+        let heap = self.heap_index_of(va)?;
+        self.heaps[heap].allocs.get(&va.0).copied()
+    }
+
+    /// Drains regions of heaps created since the last call; the caller
+    /// wires each to a VMA via `mmap_fixed` (the paper's malloc calling
+    /// into the kernel "for more memory with the desired mapping").
+    pub fn drain_new_heaps(&mut self) -> Vec<HeapRegion> {
+        std::mem::take(&mut self.new_regions)
+    }
+
+    /// All heap regions, in creation order.
+    pub fn heap_regions(&self) -> Vec<HeapRegion> {
+        self.heaps.iter().map(|h| h.region).collect()
+    }
+
+    /// Live (allocated) bytes across all heaps of a mapping.
+    pub fn live_bytes(&self, mapping: MappingId) -> u64 {
+        self.by_mapping
+            .get(&mapping)
+            .map(|idxs| idxs.iter().map(|&i| self.heaps[i].live_bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    fn heap_index_of(&self, va: VirtAddr) -> Option<usize> {
+        self.heaps
+            .iter()
+            .position(|h| va.0 >= h.region.start.0 && va.0 < h.region.start.0 + h.region.len)
+    }
+
+    fn round_to_page(&self, n: u64) -> u64 {
+        let p = 1u64 << self.page_bits;
+        n.div_ceil(p) * p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MultiHeapMalloc {
+        MultiHeapMalloc::with_heap_bytes(12, 16 * 4096)
+    }
+
+    #[test]
+    fn add_addr_map_hands_out_sequential_ids() {
+        let mut m = small();
+        assert_eq!(m.add_addr_map().unwrap(), MappingId(1));
+        assert_eq!(m.add_addr_map().unwrap(), MappingId(2));
+        assert_eq!(m.registered_mappings().len(), 3);
+    }
+
+    #[test]
+    fn external_registration_is_idempotent_and_reserves_ids() {
+        let mut m = small();
+        m.register_external(MappingId(7));
+        m.register_external(MappingId(7));
+        assert!(m.malloc(64, Some(MappingId(7))).is_ok());
+        // The internal counter skips past externally claimed ids.
+        assert_eq!(m.add_addr_map().unwrap(), MappingId(8));
+    }
+
+    #[test]
+    fn mapping_ids_exhaust_at_256() {
+        let mut m = small();
+        for _ in 1..=255 {
+            m.add_addr_map().unwrap();
+        }
+        assert_eq!(m.add_addr_map().unwrap_err(), MemError::MappingIdsExhausted);
+    }
+
+    #[test]
+    fn default_mapping_needs_no_registration() {
+        let mut m = small();
+        let va = m.malloc(100, None).unwrap();
+        assert_eq!(m.mapping_of(va), Some(MappingId::DEFAULT));
+    }
+
+    #[test]
+    fn unregistered_mapping_rejected() {
+        let mut m = small();
+        assert_eq!(
+            m.malloc(100, Some(MappingId(9))).unwrap_err(),
+            MemError::UnknownMapping(MappingId(9))
+        );
+    }
+
+    #[test]
+    fn heaps_are_page_disjoint_across_mappings() {
+        let mut m = small();
+        let m1 = m.add_addr_map().unwrap();
+        let m2 = m.add_addr_map().unwrap();
+        let mut pages: std::collections::HashMap<u64, MappingId> = Default::default();
+        for i in 0..200u64 {
+            let id = if i % 2 == 0 { m1 } else { m2 };
+            let va = m.malloc(100 + i, Some(id)).unwrap();
+            let owner = pages.entry(va.vpn(12)).or_insert(id);
+            assert_eq!(*owner, id, "page mixes two mappings");
+        }
+    }
+
+    #[test]
+    fn heap_grows_when_full() {
+        let mut m = small();
+        let id = m.add_addr_map().unwrap();
+        let heap_capacity = 16 * 4096u64;
+        let mut count = 0;
+        while (count + 1) * 1024 <= 3 * heap_capacity {
+            m.malloc(1024, Some(id)).unwrap();
+            count += 1;
+        }
+        let regions = m.drain_new_heaps();
+        assert!(
+            regions.len() >= 3,
+            "expected >= 3 heaps, got {}",
+            regions.len()
+        );
+        assert!(regions.iter().all(|r| r.mapping == id));
+        // Regions are disjoint.
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                assert!(a.start.0 + a.len <= b.start.0 || b.start.0 + b.len <= a.start.0);
+            }
+        }
+    }
+
+    #[test]
+    fn large_allocation_gets_dedicated_heap() {
+        let mut m = small();
+        let va = m.malloc(1 << 20, None).unwrap();
+        let r = m.heap_region(va).unwrap();
+        assert!(r.len >= 1 << 20);
+        assert_eq!(r.len % 4096, 0);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut m = small();
+        let a = m.malloc(256, None).unwrap();
+        let b = m.malloc(256, None).unwrap();
+        m.free(a).unwrap();
+        let c = m.malloc(128, None).unwrap();
+        assert_eq!(c, a, "first fit reuses the freed block");
+        m.free(b).unwrap();
+        m.free(c).unwrap();
+        assert_eq!(m.live_bytes(MappingId::DEFAULT), 0);
+    }
+
+    #[test]
+    fn coalescing_allows_big_realloc() {
+        let mut m = MultiHeapMalloc::with_heap_bytes(12, 8192);
+        let a = m.malloc(1024, None).unwrap();
+        let b = m.malloc(1024, None).unwrap();
+        let c = m.malloc(1024, None).unwrap();
+        let d = m.malloc(1024, None).unwrap();
+        for va in [a, b, c, d] {
+            m.free(va).unwrap();
+        }
+        // Whole heap coalesced: a 4 KB allocation fits back at the start
+        // of the same heap (just after the heap header).
+        let e = m.malloc(4096, None).unwrap();
+        assert_eq!(e, a);
+        assert_eq!(m.heap_regions().len(), 1);
+    }
+
+    #[test]
+    fn heap_headers_stagger_user_data() {
+        // Heads of different heaps must not share the same line offset,
+        // so equal-index streams of different variables decorrelate.
+        let mut m = small();
+        let id1 = m.add_addr_map().unwrap();
+        let id2 = m.add_addr_map().unwrap();
+        let a = m.malloc(64, Some(id1)).unwrap();
+        let b = m.malloc(64, Some(id2)).unwrap();
+        let off = |v: VirtAddr| v.0 - m.heap_region(v).unwrap().start.0;
+        assert_ne!(off(a), off(b), "headers should differ across heaps");
+        assert!(
+            off(a) >= 64 && off(b) >= 64,
+            "user data is off the region start"
+        );
+    }
+
+    #[test]
+    fn sensitive_and_ordinary_data_never_share_a_heap() {
+        let mut m = small();
+        let id = m.add_addr_map().unwrap();
+        let plain = m.malloc(64, Some(id)).unwrap();
+        let secret = m.malloc_sensitive(64, Some(id)).unwrap();
+        let rp = m.heap_region(plain).unwrap();
+        let rs = m.heap_region(secret).unwrap();
+        assert_ne!(rp.start, rs.start);
+        assert!(!rp.sensitive);
+        assert!(rs.sensitive);
+        // A second sensitive allocation reuses the sensitive heap.
+        let secret2 = m.malloc_sensitive(64, Some(id)).unwrap();
+        assert_eq!(m.heap_region(secret2).unwrap().start, rs.start);
+    }
+
+    #[test]
+    fn bad_frees_rejected() {
+        let mut m = small();
+        let a = m.malloc(64, None).unwrap();
+        assert!(m.free(VirtAddr(a.0 + 8)).is_err(), "interior pointer");
+        assert!(m.free(VirtAddr(12)).is_err(), "wild pointer");
+        m.free(a).unwrap();
+        assert!(m.free(a).is_err(), "double free");
+    }
+
+    #[test]
+    fn size_of_reports_live_allocations_only() {
+        let mut m = small();
+        let va = m.malloc(100, None).unwrap();
+        assert_eq!(m.size_of(va), Some(112)); // rounded to 16 B
+        assert_eq!(m.size_of(VirtAddr(va.0 + 16)), None, "interior pointer");
+        m.free(va).unwrap();
+        assert_eq!(m.size_of(va), None);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut m = small();
+        assert!(matches!(
+            m.malloc(0, None),
+            Err(MemError::InvalidSize { size: 0 })
+        ));
+    }
+}

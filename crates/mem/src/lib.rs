@@ -1,0 +1,93 @@
+//! # sdam-mem — the SDAM memory-allocation stack
+//!
+//! The paper modifies Linux 4.15 and glibc 2.26 so that every piece of
+//! allocated memory carries an address-mapping id from `malloc()` down
+//! to physical frames (§6.1). We cannot ship a kernel patch, so this
+//! crate reimplements the same allocators as a library with the same
+//! *rules*, which is what the correctness argument depends on:
+//!
+//! * [`buddy::BuddyAllocator`] — the page-frame allocator used inside a
+//!   chunk (split/coalesce over orders, like Linux's zone buddy),
+//! * [`phys::ChunkAllocator`] — physical memory managed as 2 MB chunks:
+//!   a global free list, per-mapping *chunk groups*, and the invariant
+//!   that every frame of a chunk carries the chunk's mapping id,
+//! * [`vma::AddressSpace`] — `mmap()` with a mapping-id argument,
+//!   `vm_area_struct`-style regions, a page table, and an on-demand
+//!   page-fault path that allocates frames from the right chunk group,
+//! * [`heap::MultiHeapMalloc`] — the glibc side: one heap per mapping
+//!   id (`add_addr_map()` + `malloc(size, id)`), page-aligned heaps so
+//!   a page never mixes mappings,
+//! * [`guard::GuardRowPolicy`] — the paper's sketched rowhammer
+//!   mitigation: guard rows around sensitive allocations (§4, future
+//!   work; included as an extension).
+//!
+//! ## Example: one page, one mapping
+//!
+//! ```
+//! use sdam_mapping::MappingId;
+//! use sdam_mem::heap::MultiHeapMalloc;
+//! use sdam_mem::phys::ChunkAllocator;
+//! use sdam_mem::vma::AddressSpace;
+//!
+//! let mut phys = ChunkAllocator::new(33, 21, 12); // 8 GB, 2 MB chunks, 4 KB pages
+//! let mut aspace = AddressSpace::new(12);
+//! let mut malloc = MultiHeapMalloc::new(12);
+//!
+//! let streaming = malloc.add_addr_map().unwrap();
+//! assert_eq!(streaming, MappingId(1));
+//! let va = malloc.malloc(4096, Some(streaming)).unwrap();
+//! let region = malloc.heap_region(va).unwrap();
+//! aspace.mmap_fixed(region.start, region.len, streaming).unwrap();
+//! // Touch the allocation: the fault handler pulls a frame from a
+//! // chunk that belongs to `streaming`'s chunk group.
+//! let pa = aspace.access(va, &mut phys).unwrap();
+//! assert_eq!(phys.mapping_of_frame(pa), Some(streaming));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buddy;
+pub mod error;
+pub mod guard;
+pub mod heap;
+pub mod phys;
+pub mod vma;
+
+pub use error::MemError;
+
+/// A virtual address in a process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number for `page_bits`-sized pages.
+    #[inline]
+    pub fn vpn(self, page_bits: u32) -> u64 {
+        self.0 >> page_bits
+    }
+
+    /// The offset within the page.
+    #[inline]
+    pub fn page_offset(self, page_bits: u32) -> u64 {
+        self.0 & ((1u64 << page_bits) - 1)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl std::fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}

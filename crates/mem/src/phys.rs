@@ -1,0 +1,675 @@
+//! The chunk-based physical page allocator (the paper's kernel side).
+//!
+//! Physical memory is divided into chunks (2 MB in the paper). Chunks
+//! live either on a *global free list* or in a *chunk group* — the set
+//! of chunks assigned to one address mapping (paper Fig. 7). Page frames
+//! are handed out only from chunks of the requesting mapping's group, so
+//! every frame of a chunk shares the chunk's mapping: SDAM's central
+//! allocation constraint. When the last frame of a chunk is freed the
+//! chunk returns to the global free list and can be re-assigned to a
+//! different mapping later.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdam_mapping::{MappingId, PhysAddr};
+
+use crate::buddy::BuddyAllocator;
+use crate::MemError;
+
+/// Notification that the allocator acquired or released a chunk — the
+/// hook the OS uses to update the hardware CMT (paper §6.1: "writes the
+/// chunk index and address mapping to the hardware CMT").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkEvent {
+    /// A chunk left the global free list and joined a mapping's group.
+    Acquired {
+        /// The chunk number.
+        chunk: u64,
+        /// The group (mapping) it joined.
+        mapping: MappingId,
+    },
+    /// A chunk became empty and returned to the global free list.
+    Released {
+        /// The chunk number.
+        chunk: u64,
+    },
+}
+
+/// The result of a page allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageAlloc {
+    /// Physical address of the first allocated page.
+    pub pa: PhysAddr,
+    /// Chunk event to forward to the CMT, if a new chunk was acquired.
+    pub event: Option<ChunkEvent>,
+}
+
+#[derive(Debug, Clone)]
+struct ChunkState {
+    mapping: MappingId,
+    buddy: BuddyAllocator,
+    /// Allocated blocks: page offset within chunk → order (for
+    /// validating frees without the caller tracking orders).
+    blocks: BTreeMap<u64, u32>,
+    /// True for chunks holding sensitive (guard-isolated) data.
+    sensitive: bool,
+}
+
+/// A point-in-time summary of a [`ChunkAllocator`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocatorReport {
+    /// All chunks in the physical space.
+    pub total_chunks: u64,
+    /// Chunks on the global free list (guards included).
+    pub free_chunks: u64,
+    /// Free chunks withheld as rowhammer guards.
+    pub guard_chunks: u64,
+    /// `(mapping, chunks)` per non-empty chunk group.
+    pub groups: Vec<(MappingId, u64)>,
+    /// Pages allocated across all chunks.
+    pub allocated_pages: u64,
+    /// Free pages stranded inside in-use chunks.
+    pub fragmentation_pages: u64,
+}
+
+impl std::fmt::Display for AllocatorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "chunks: {} total, {} free ({} guarding), {} pages live, {} stranded",
+            self.total_chunks,
+            self.free_chunks,
+            self.guard_chunks,
+            self.allocated_pages,
+            self.fragmentation_pages
+        )?;
+        for (m, n) in &self.groups {
+            writeln!(f, "  {m}: {n} chunk(s)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The chunk-based physical allocator.
+///
+/// # Example
+///
+/// ```
+/// use sdam_mapping::MappingId;
+/// use sdam_mem::phys::ChunkAllocator;
+///
+/// let mut phys = ChunkAllocator::new(30, 21, 12); // 1 GB, 2 MB chunks
+/// let a = phys.alloc_page(MappingId(1))?;
+/// let b = phys.alloc_page(MappingId(2))?;
+/// // Different mappings never share a chunk.
+/// assert_ne!(a.pa.chunk_number(21), b.pa.chunk_number(21));
+/// # Ok::<(), sdam_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChunkAllocator {
+    chunk_bits: u32,
+    page_bits: u32,
+    pages_per_chunk_order: u32,
+    /// Chunks on the global free list.
+    free_chunks: BTreeSet<u64>,
+    /// In-use chunks.
+    chunks: BTreeMap<u64, ChunkState>,
+    /// mapping → chunks in its group.
+    groups: BTreeMap<MappingId, BTreeSet<u64>>,
+    /// Guard chunks: reserved as physical isolation around sensitive
+    /// chunks (the paper's sketched rowhammer mitigation, §4). Maps the
+    /// guard chunk to the sensitive chunks it protects.
+    guards: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl ChunkAllocator {
+    /// Creates an allocator for `2^phys_bits` bytes of physical memory
+    /// in `2^chunk_bits`-byte chunks and `2^page_bits`-byte pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_bits < chunk_bits < phys_bits`.
+    pub fn new(phys_bits: u32, chunk_bits: u32, page_bits: u32) -> Self {
+        assert!(page_bits < chunk_bits, "pages must subdivide chunks");
+        assert!(chunk_bits < phys_bits, "chunks must subdivide memory");
+        let num_chunks = 1u64 << (phys_bits - chunk_bits);
+        ChunkAllocator {
+            chunk_bits,
+            page_bits,
+            pages_per_chunk_order: chunk_bits - page_bits,
+            free_chunks: (0..num_chunks).collect(),
+            chunks: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            guards: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's configuration: 8 GB HBM, 2 MB chunks, 4 KB pages
+    /// (4096 chunks, 512 pages each).
+    pub fn paper_8gb() -> Self {
+        ChunkAllocator::new(33, 21, 12)
+    }
+
+    /// Chunk size in bytes.
+    #[inline]
+    pub fn chunk_bytes(&self) -> u64 {
+        1u64 << self.chunk_bits
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> u64 {
+        1u64 << self.page_bits
+    }
+
+    /// Pages per chunk.
+    #[inline]
+    pub fn pages_per_chunk(&self) -> u64 {
+        1u64 << self.pages_per_chunk_order
+    }
+
+    /// Allocates one page frame for `mapping`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfPhysicalMemory`] when the mapping's group is full
+    /// and the global free list is empty.
+    pub fn alloc_page(&mut self, mapping: MappingId) -> Result<PageAlloc, MemError> {
+        self.alloc_block(mapping, 0)
+    }
+
+    /// Allocates a contiguous block of `2^order` pages for `mapping`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::InvalidSize`] if the block exceeds a chunk;
+    /// [`MemError::OutOfPhysicalMemory`] when memory is exhausted.
+    pub fn alloc_block(&mut self, mapping: MappingId, order: u32) -> Result<PageAlloc, MemError> {
+        if order > self.pages_per_chunk_order {
+            return Err(MemError::InvalidSize {
+                size: (1u64 << order) * self.page_bytes(),
+            });
+        }
+        self.alloc_in_group_or_acquire(mapping, order, false)
+    }
+
+    /// Like [`ChunkAllocator::alloc_block`], but marks the chunk
+    /// *sensitive*: the physically adjacent chunks (contiguous rows in
+    /// the same banks) are reserved as guards and withheld from every
+    /// other allocation until the sensitive data is freed — the paper's
+    /// sketched rowhammer isolation (§4, after Brasser et al.).
+    ///
+    /// A sensitive block always comes from a freshly acquired chunk
+    /// whose neighbours are free (never from an existing group chunk),
+    /// so isolation holds from the first byte.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::InvalidSize`] if the block exceeds a chunk;
+    /// [`MemError::OutOfPhysicalMemory`] if no chunk with free
+    /// neighbours exists.
+    pub fn alloc_block_sensitive(
+        &mut self,
+        mapping: MappingId,
+        order: u32,
+    ) -> Result<PageAlloc, MemError> {
+        if order > self.pages_per_chunk_order {
+            return Err(MemError::InvalidSize {
+                size: (1u64 << order) * self.page_bytes(),
+            });
+        }
+        self.alloc_in_group_or_acquire(mapping, order, true)
+    }
+
+    /// Tries group chunks of matching sensitivity first, then acquires a
+    /// fresh chunk from the global list.
+    fn alloc_in_group_or_acquire(
+        &mut self,
+        mapping: MappingId,
+        order: u32,
+        sensitive: bool,
+    ) -> Result<PageAlloc, MemError> {
+        if let Some(chunks) = self.groups.get(&mapping) {
+            let candidates: Vec<u64> = chunks.iter().copied().collect();
+            for c in candidates {
+                let state = self.chunks.get_mut(&c).expect("group chunks are live");
+                if state.sensitive != sensitive {
+                    continue;
+                }
+                if let Some(off) = state.buddy.alloc(order) {
+                    state.blocks.insert(off, order);
+                    return Ok(PageAlloc {
+                        pa: self.frame_pa(c, off),
+                        event: None,
+                    });
+                }
+            }
+        }
+        self.acquire_chunk(mapping, order, sensitive)
+    }
+
+    fn acquire_chunk(
+        &mut self,
+        mapping: MappingId,
+        order: u32,
+        sensitive: bool,
+    ) -> Result<PageAlloc, MemError> {
+        let available =
+            |me: &Self, c: u64| me.free_chunks.contains(&c) && !me.guards.contains_key(&c);
+        let c = if sensitive {
+            // Need a free chunk whose existing neighbours are free too
+            // (they become guards).
+            *self
+                .free_chunks
+                .iter()
+                .find(|&&c| {
+                    available(self, c)
+                        && c.checked_sub(1).is_none_or(|p| available(self, p))
+                        && (c + 1 >= self.total_chunks() || available(self, c + 1))
+                })
+                .ok_or(MemError::OutOfPhysicalMemory)?
+        } else {
+            *self
+                .free_chunks
+                .iter()
+                .find(|&&c| !self.guards.contains_key(&c))
+                .ok_or(MemError::OutOfPhysicalMemory)?
+        };
+        self.free_chunks.remove(&c);
+        let mut buddy = BuddyAllocator::new(self.pages_per_chunk_order);
+        let off = buddy
+            .alloc(order)
+            .expect("fresh chunk can satisfy any in-range order");
+        let mut blocks = BTreeMap::new();
+        blocks.insert(off, order);
+        self.chunks.insert(
+            c,
+            ChunkState {
+                mapping,
+                buddy,
+                blocks,
+                sensitive,
+            },
+        );
+        self.groups.entry(mapping).or_default().insert(c);
+        if sensitive {
+            for g in [c.checked_sub(1), Some(c + 1)].into_iter().flatten() {
+                if g < self.total_chunks() {
+                    self.guards.entry(g).or_default().insert(c);
+                }
+            }
+        }
+        Ok(PageAlloc {
+            pa: self.frame_pa(c, off),
+            event: Some(ChunkEvent::Acquired { chunk: c, mapping }),
+        })
+    }
+
+    fn total_chunks(&self) -> u64 {
+        // Every chunk is either on the free list or in use; guard
+        // chunks remain on the free list (merely unallocatable).
+        self.free_chunks.len() as u64 + self.chunks.len() as u64
+    }
+
+    /// Frees the block starting at `pa` (which must be the address
+    /// returned by the matching allocation). Returns a
+    /// [`ChunkEvent::Released`] if the chunk became empty and went back
+    /// to the global free list.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadFree`] if `pa` is not the start of a live block.
+    pub fn free_block(&mut self, pa: PhysAddr) -> Result<Option<ChunkEvent>, MemError> {
+        let chunk = pa.chunk_number(self.chunk_bits);
+        let off = pa.chunk_offset(self.chunk_bits) >> self.page_bits;
+        let bad = || MemError::BadFree(crate::VirtAddr(pa.raw()));
+        if !pa.raw().is_multiple_of(self.page_bytes()) {
+            return Err(bad());
+        }
+        let state = self.chunks.get_mut(&chunk).ok_or_else(bad)?;
+        let order = state.blocks.remove(&off).ok_or_else(bad)?;
+        state.buddy.free(off, order);
+        if state.buddy.is_empty() {
+            let mapping = state.mapping;
+            let was_sensitive = state.sensitive;
+            self.chunks.remove(&chunk);
+            self.groups
+                .get_mut(&mapping)
+                .expect("chunk was in its group")
+                .remove(&chunk);
+            self.free_chunks.insert(chunk);
+            // A freed sensitive chunk releases its guards (unless a
+            // guard still protects another sensitive chunk).
+            if was_sensitive {
+                for g in [chunk.checked_sub(1), Some(chunk + 1)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(protects) = self.guards.get_mut(&g) {
+                        protects.remove(&chunk);
+                        if protects.is_empty() {
+                            self.guards.remove(&g);
+                        }
+                    }
+                }
+            }
+            return Ok(Some(ChunkEvent::Released { chunk }));
+        }
+        Ok(None)
+    }
+
+    /// The mapping of the chunk containing `pa`, or `None` if the chunk
+    /// is on the free list.
+    pub fn mapping_of_frame(&self, pa: PhysAddr) -> Option<MappingId> {
+        self.chunks
+            .get(&pa.chunk_number(self.chunk_bits))
+            .map(|s| s.mapping)
+    }
+
+    /// Chunks on the global free list.
+    pub fn free_chunk_count(&self) -> u64 {
+        self.free_chunks.len() as u64
+    }
+
+    /// Chunks assigned to a mapping's group.
+    pub fn group_size(&self, mapping: MappingId) -> u64 {
+        self.groups.get(&mapping).map_or(0, |g| g.len() as u64)
+    }
+
+    /// Internal fragmentation: free pages stranded inside in-use chunks
+    /// (they cannot serve other mappings). The paper bounds this by the
+    /// number of access patterns, not the number of chunks (§4).
+    pub fn internal_fragmentation_pages(&self) -> u64 {
+        self.chunks.values().map(|s| s.buddy.free_pages()).sum()
+    }
+
+    /// Pages currently allocated across all chunks.
+    pub fn allocated_pages(&self) -> u64 {
+        self.chunks
+            .values()
+            .map(|s| s.buddy.allocated_pages())
+            .sum()
+    }
+
+    /// Chunks currently reserved as rowhammer guards.
+    pub fn guard_chunk_count(&self) -> u64 {
+        self.guards.len() as u64
+    }
+
+    /// A structured snapshot of the allocator's state for reporting.
+    pub fn report(&self) -> AllocatorReport {
+        AllocatorReport {
+            total_chunks: self.total_chunks(),
+            free_chunks: self.free_chunks.len() as u64,
+            guard_chunks: self.guards.len() as u64,
+            groups: self
+                .groups
+                .iter()
+                .filter(|(_, cs)| !cs.is_empty())
+                .map(|(&m, cs)| (m, cs.len() as u64))
+                .collect(),
+            allocated_pages: self.allocated_pages(),
+            fragmentation_pages: self.internal_fragmentation_pages(),
+        }
+    }
+
+    /// True if `chunk` is currently a guard.
+    pub fn is_guard_chunk(&self, chunk: u64) -> bool {
+        self.guards.contains_key(&chunk)
+    }
+
+    fn frame_pa(&self, chunk: u64, page_off: u64) -> PhysAddr {
+        PhysAddr((chunk << self.chunk_bits) | (page_off << self.page_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChunkAllocator {
+        // 16 MB, 2 MB chunks (8 chunks), 4 KB pages (512 per chunk).
+        ChunkAllocator::new(24, 21, 12)
+    }
+
+    #[test]
+    fn paper_configuration_counts() {
+        let a = ChunkAllocator::paper_8gb();
+        assert_eq!(a.free_chunk_count(), 4096);
+        assert_eq!(a.pages_per_chunk(), 512);
+        assert_eq!(a.chunk_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn first_alloc_acquires_a_chunk() {
+        let mut a = small();
+        let r = a.alloc_page(MappingId(1)).unwrap();
+        assert!(matches!(
+            r.event,
+            Some(ChunkEvent::Acquired {
+                mapping: MappingId(1),
+                ..
+            })
+        ));
+        assert_eq!(a.group_size(MappingId(1)), 1);
+        assert_eq!(a.free_chunk_count(), 7);
+        assert_eq!(a.mapping_of_frame(r.pa), Some(MappingId(1)));
+    }
+
+    #[test]
+    fn same_mapping_reuses_chunk() {
+        let mut a = small();
+        let r1 = a.alloc_page(MappingId(1)).unwrap();
+        let r2 = a.alloc_page(MappingId(1)).unwrap();
+        assert!(r2.event.is_none(), "second page comes from the same chunk");
+        assert_eq!(
+            r1.pa.chunk_number(21),
+            r2.pa.chunk_number(21),
+            "pages share the chunk"
+        );
+        assert_ne!(r1.pa, r2.pa);
+    }
+
+    #[test]
+    fn different_mappings_never_share_chunks() {
+        let mut a = small();
+        let mut frames = Vec::new();
+        for m in 1..=4u8 {
+            for _ in 0..10 {
+                frames.push((m, a.alloc_page(MappingId(m)).unwrap().pa));
+            }
+        }
+        for &(m, pa) in &frames {
+            assert_eq!(a.mapping_of_frame(pa), Some(MappingId(m)));
+        }
+        // 4 groups, one chunk each.
+        assert_eq!(a.free_chunk_count(), 4);
+    }
+
+    #[test]
+    fn chunk_overflow_grabs_new_chunk() {
+        let mut a = small();
+        let per_chunk = a.pages_per_chunk();
+        let mut events = 0;
+        for _ in 0..per_chunk + 1 {
+            if a.alloc_page(MappingId(1)).unwrap().event.is_some() {
+                events += 1;
+            }
+        }
+        assert_eq!(events, 2, "513 pages need two chunks");
+        assert_eq!(a.group_size(MappingId(1)), 2);
+    }
+
+    #[test]
+    fn release_returns_chunk_to_free_list() {
+        let mut a = small();
+        let r1 = a.alloc_page(MappingId(1)).unwrap();
+        let r2 = a.alloc_page(MappingId(1)).unwrap();
+        assert!(a.free_block(r1.pa).unwrap().is_none(), "chunk still in use");
+        let ev = a.free_block(r2.pa).unwrap();
+        assert!(matches!(ev, Some(ChunkEvent::Released { .. })));
+        assert_eq!(a.free_chunk_count(), 8);
+        assert_eq!(a.group_size(MappingId(1)), 0);
+        assert_eq!(a.mapping_of_frame(r1.pa), None);
+    }
+
+    #[test]
+    fn released_chunk_can_switch_mapping() {
+        let mut a = ChunkAllocator::new(22, 21, 12); // 2 chunks only
+        let r1 = a.alloc_page(MappingId(1)).unwrap();
+        let _r2 = a.alloc_page(MappingId(2)).unwrap();
+        // Memory exhausted for a third mapping.
+        assert_eq!(
+            a.alloc_page(MappingId(3)).unwrap_err(),
+            MemError::OutOfPhysicalMemory
+        );
+        // Free mapping 1's chunk; mapping 3 can now take it.
+        a.free_block(r1.pa).unwrap();
+        let r3 = a.alloc_page(MappingId(3)).unwrap();
+        assert_eq!(r3.pa.chunk_number(21), r1.pa.chunk_number(21));
+        assert_eq!(a.mapping_of_frame(r3.pa), Some(MappingId(3)));
+    }
+
+    #[test]
+    fn fragmentation_bounded_by_mapping_count() {
+        // Worst case of the paper's §4 analysis: every mapping allocates
+        // a single page, stranding (pages_per_chunk - 1) pages per
+        // mapping — bounded by #mappings, not #chunks.
+        let mut a = small();
+        for m in 1..=4u8 {
+            a.alloc_page(MappingId(m)).unwrap();
+        }
+        assert_eq!(
+            a.internal_fragmentation_pages(),
+            4 * (a.pages_per_chunk() - 1)
+        );
+    }
+
+    #[test]
+    fn bad_frees_rejected() {
+        let mut a = small();
+        let r = a.alloc_page(MappingId(1)).unwrap();
+        // Not a block start.
+        assert!(a.free_block(PhysAddr(r.pa.raw() + 4096)).is_err());
+        // Unaligned.
+        assert!(a.free_block(PhysAddr(r.pa.raw() + 1)).is_err());
+        // Free-listed chunk.
+        assert!(a.free_block(PhysAddr(7 << 21)).is_err());
+        // Double free.
+        a.free_block(r.pa).unwrap();
+        assert!(a.free_block(r.pa).is_err());
+    }
+
+    #[test]
+    fn multi_page_blocks() {
+        let mut a = small();
+        let r = a.alloc_block(MappingId(1), 3).unwrap(); // 8 pages
+        assert_eq!(a.allocated_pages(), 8);
+        assert_eq!(r.pa.raw() % (8 * 4096), 0, "block is order-aligned");
+        let huge = a.alloc_block(MappingId(1), 30);
+        assert!(matches!(huge, Err(MemError::InvalidSize { .. })));
+        a.free_block(r.pa).unwrap();
+        assert_eq!(a.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn sensitive_allocation_reserves_guard_chunks() {
+        let mut a = small(); // 8 chunks
+        let r = a.alloc_block_sensitive(MappingId(1), 0).unwrap();
+        let c = r.pa.chunk_number(21);
+        assert_eq!(a.guard_chunk_count(), if c == 0 || c == 7 { 1 } else { 2 });
+        for g in [c.wrapping_sub(1), c + 1] {
+            if g < 8 {
+                assert!(a.is_guard_chunk(g));
+            }
+        }
+        // Ordinary allocations skip the guards: exhaust memory and check
+        // no frame ever lands in a guard chunk.
+        let mut frames = Vec::new();
+        while let Ok(r) = a.alloc_page(MappingId(2)) {
+            frames.push(r.pa);
+        }
+        for pa in &frames {
+            assert!(
+                !a.is_guard_chunk(pa.chunk_number(21)),
+                "guard chunk was allocated"
+            );
+        }
+    }
+
+    #[test]
+    fn freeing_sensitive_data_releases_guards() {
+        let mut a = small();
+        let r = a.alloc_block_sensitive(MappingId(1), 0).unwrap();
+        let guards_before = a.guard_chunk_count();
+        assert!(guards_before > 0);
+        a.free_block(r.pa).unwrap();
+        assert_eq!(a.guard_chunk_count(), 0);
+        assert_eq!(a.free_chunk_count(), 8);
+    }
+
+    #[test]
+    fn overlapping_guards_persist_until_both_freed() {
+        let mut a = ChunkAllocator::new(25, 21, 12); // 16 chunks
+        let r1 = a.alloc_block_sensitive(MappingId(1), 0).unwrap();
+        // Same mapping reuses the same sensitive chunk; a different
+        // domain (mapping) gets its own isolated chunk.
+        let same = a.alloc_block_sensitive(MappingId(1), 0).unwrap();
+        assert_eq!(same.pa.chunk_number(21), r1.pa.chunk_number(21));
+        a.free_block(same.pa).unwrap();
+        let r2 = a.alloc_block_sensitive(MappingId(2), 0).unwrap();
+        let (c1, c2) = (r1.pa.chunk_number(21), r2.pa.chunk_number(21));
+        assert!(
+            c1.abs_diff(c2) >= 2,
+            "sensitive chunks must not be adjacent"
+        );
+        a.free_block(r1.pa).unwrap();
+        // r2's guards must still stand.
+        for g in [c2.wrapping_sub(1), c2 + 1] {
+            if g < 16 {
+                assert!(a.is_guard_chunk(g), "guard of live sensitive chunk dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn sensitive_allocation_fails_when_no_isolated_chunk_exists() {
+        let mut a = ChunkAllocator::new(22, 21, 12); // 2 chunks
+        let _ = a.alloc_block_sensitive(MappingId(1), 0).unwrap();
+        // The neighbour is a guard; a different domain finds nothing
+        // isolated.
+        assert_eq!(
+            a.alloc_block_sensitive(MappingId(2), 0).unwrap_err(),
+            MemError::OutOfPhysicalMemory
+        );
+    }
+
+    #[test]
+    fn report_reflects_state() {
+        let mut a = small();
+        a.alloc_page(MappingId(1)).unwrap();
+        a.alloc_page(MappingId(2)).unwrap();
+        a.alloc_block_sensitive(MappingId(3), 0).unwrap();
+        let r = a.report();
+        assert_eq!(r.total_chunks, 8);
+        assert_eq!(r.free_chunks, 5);
+        assert!(r.guard_chunks >= 1);
+        assert_eq!(r.groups.len(), 3);
+        assert_eq!(r.allocated_pages, 3);
+        let text = r.to_string();
+        assert!(text.contains("map#3"));
+        assert!(text.contains("8 total"));
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut a = ChunkAllocator::new(22, 21, 20); // 2 chunks x 2 pages
+        for _ in 0..4 {
+            a.alloc_page(MappingId(1)).unwrap();
+        }
+        assert_eq!(
+            a.alloc_page(MappingId(1)).unwrap_err(),
+            MemError::OutOfPhysicalMemory
+        );
+    }
+}

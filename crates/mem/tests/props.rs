@@ -1,0 +1,98 @@
+//! Property tests local to the allocation stack: address-space and
+//! heap invariants under random scripts.
+
+use proptest::prelude::*;
+use sdam_mapping::MappingId;
+use sdam_mem::heap::MultiHeapMalloc;
+use sdam_mem::phys::ChunkAllocator;
+use sdam_mem::vma::AddressSpace;
+use sdam_mem::VirtAddr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn translation_is_stable_and_offset_preserving(
+        offsets in proptest::collection::vec(0u64..(1 << 16), 1..50),
+    ) {
+        let mut phys = ChunkAllocator::new(26, 21, 12);
+        let mut aspace = AddressSpace::new(12);
+        let va = aspace.mmap(1 << 16, MappingId(1)).unwrap();
+        for &off in &offsets {
+            let target = VirtAddr(va.0 + off);
+            let pa1 = aspace.access(target, &mut phys).unwrap();
+            let pa2 = aspace.access(target, &mut phys).unwrap();
+            prop_assert_eq!(pa1, pa2, "translation changed between accesses");
+            prop_assert_eq!(pa1.raw() & 0xfff, off & 0xfff, "page offset mangled");
+        }
+        // Faults equal the number of distinct pages touched.
+        let pages: std::collections::HashSet<u64> =
+            offsets.iter().map(|o| o >> 12).collect();
+        prop_assert_eq!(aspace.page_fault_count(), pages.len() as u64);
+    }
+
+    #[test]
+    fn munmap_returns_every_frame(areas in proptest::collection::vec(1u64..40_000, 1..10)) {
+        let mut phys = ChunkAllocator::new(26, 21, 12);
+        let mut aspace = AddressSpace::new(12);
+        let mut mapped = Vec::new();
+        for (i, &len) in areas.iter().enumerate() {
+            let id = MappingId((i % 3) as u8 + 1);
+            let va = aspace.mmap(len, id).unwrap();
+            // Touch first and last byte.
+            aspace.access(va, &mut phys).unwrap();
+            aspace.access(VirtAddr(va.0 + len - 1), &mut phys).unwrap();
+            mapped.push(va);
+        }
+        prop_assert!(phys.allocated_pages() > 0);
+        for va in mapped {
+            aspace.munmap(va, &mut phys).unwrap();
+        }
+        prop_assert_eq!(phys.allocated_pages(), 0, "frames leaked");
+        prop_assert_eq!(phys.free_chunk_count(), 32, "chunks leaked");
+    }
+
+    #[test]
+    fn heap_free_list_always_coalesces_back(sizes in proptest::collection::vec(16u64..4096, 1..60)) {
+        let mut m = MultiHeapMalloc::with_heap_bytes(12, 1 << 20);
+        let ptrs: Vec<VirtAddr> = sizes.iter().map(|&s| m.malloc(s, None).unwrap()).collect();
+        // Free in reverse order; afterwards the heap must satisfy one
+        // big allocation again (full coalescing).
+        for &p in ptrs.iter().rev() {
+            m.free(p).unwrap();
+        }
+        prop_assert_eq!(m.live_bytes(MappingId::DEFAULT), 0);
+        let regions_before = m.heap_regions().len();
+        let big = m.malloc((1 << 20) - 64 * 32, None).unwrap();
+        prop_assert_eq!(
+            m.heap_regions().len(),
+            regions_before,
+            "coalescing failed: a new heap was needed"
+        );
+        m.free(big).unwrap();
+    }
+
+    #[test]
+    fn sensitive_and_plain_never_share_chunks(rounds in 1usize..20) {
+        let mut a = ChunkAllocator::new(27, 21, 12); // 64 chunks
+        let mut sensitive_chunks = std::collections::HashSet::new();
+        let mut plain_chunks = std::collections::HashSet::new();
+        for i in 0..rounds {
+            let id = MappingId((i % 2) as u8 + 1);
+            let s = a.alloc_block_sensitive(id, 0).unwrap();
+            sensitive_chunks.insert(s.pa.chunk_number(21));
+            let p = a.alloc_page(id).unwrap();
+            plain_chunks.insert(p.pa.chunk_number(21));
+        }
+        prop_assert!(
+            sensitive_chunks.is_disjoint(&plain_chunks),
+            "a chunk held both sensitive and plain data"
+        );
+        // No plain chunk is adjacent to a sensitive one.
+        for &s in &sensitive_chunks {
+            for &p in &plain_chunks {
+                prop_assert!(s.abs_diff(p) >= 2, "guard violated: {s} next to {p}");
+            }
+        }
+    }
+}

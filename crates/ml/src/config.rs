@@ -1,0 +1,126 @@
+//! Training hyper-parameters (the paper's Table 2).
+
+/// Hyper-parameters for the embedding-LSTM autoencoder.
+///
+/// [`TrainingConfig::paper`] reproduces Table 2 exactly;
+/// [`TrainingConfig::laptop`] is the downscaled preset used by the test
+/// suite and the figure-regeneration benches (the paper itself profiled
+/// offline on an i7 workstation for up to 29 minutes per application —
+/// we keep runs in seconds and record the scaling in EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// LSTM hidden size (Table 2: 256).
+    pub hidden_dim: usize,
+    /// Number of stacked LSTM layers (Table 2: 2).
+    pub layers: usize,
+    /// Embedding size for Δ and VID (Table 2: 256).
+    pub embedding_dim: usize,
+    /// Training steps (Table 2: 500 k).
+    pub steps: usize,
+    /// Sequence length of (Δ, VID) windows (Table 2: 32).
+    pub seq_len: usize,
+    /// Adam learning rate (Table 2: 0.001).
+    pub learning_rate: f64,
+    /// Joint-loss weight λ on the clustering term (Table 2: 0.01).
+    pub lambda: f64,
+    /// Cap on the Δ vocabulary (distinct deltas beyond this share the
+    /// unknown slot).
+    pub delta_vocab_cap: usize,
+    /// RNG seed for initialization and sampling.
+    pub seed: u64,
+}
+
+impl TrainingConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper() -> Self {
+        TrainingConfig {
+            hidden_dim: 256,
+            layers: 2,
+            embedding_dim: 256,
+            steps: 500_000,
+            seq_len: 32,
+            learning_rate: 0.001,
+            lambda: 0.01,
+            delta_vocab_cap: 4096,
+            seed: 0x5da1,
+        }
+    }
+
+    /// A laptop-scale configuration: same architecture family, small
+    /// dimensions, few steps. Keeps unit tests and benches fast while
+    /// exercising every code path.
+    pub fn laptop() -> Self {
+        TrainingConfig {
+            hidden_dim: 24,
+            layers: 2,
+            embedding_dim: 12,
+            steps: 300,
+            seq_len: 16,
+            learning_rate: 0.005,
+            lambda: 0.01,
+            delta_vocab_cap: 256,
+            seed: 0x5da1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the step count is zero, or λ is
+    /// negative.
+    pub fn validate(&self) {
+        assert!(self.hidden_dim > 0, "hidden_dim must be positive");
+        assert!(self.layers > 0, "layers must be positive");
+        assert!(self.embedding_dim > 0, "embedding_dim must be positive");
+        assert!(self.steps > 0, "steps must be positive");
+        assert!(self.seq_len >= 2, "sequences need at least two elements");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.delta_vocab_cap > 1, "delta vocabulary too small");
+    }
+}
+
+impl Default for TrainingConfig {
+    /// Defaults to [`TrainingConfig::laptop`] — the configuration a
+    /// library user can actually run interactively.
+    fn default() -> Self {
+        TrainingConfig::laptop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table2() {
+        let c = TrainingConfig::paper();
+        assert_eq!(c.hidden_dim, 256);
+        assert_eq!(c.layers, 2);
+        assert_eq!(c.embedding_dim, 256);
+        assert_eq!(c.steps, 500_000);
+        assert_eq!(c.seq_len, 32);
+        assert_eq!(c.learning_rate, 0.001);
+        assert_eq!(c.lambda, 0.01);
+        c.validate();
+    }
+
+    #[test]
+    fn laptop_is_valid_and_small() {
+        let c = TrainingConfig::laptop();
+        c.validate();
+        assert!(c.steps < 10_000);
+        assert!(c.hidden_dim <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden_dim")]
+    fn zero_hidden_rejected() {
+        TrainingConfig {
+            hidden_dim: 0,
+            ..TrainingConfig::laptop()
+        }
+        .validate();
+    }
+}

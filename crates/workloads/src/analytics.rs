@@ -1,0 +1,300 @@
+//! In-memory analytics kernels: hash join and merge-sort join.
+//!
+//! The paper evaluates main-memory hash joins (Balkesen et al., ICDE'13)
+//! and parallel sort-merge joins (Wolf et al.). Both are implemented
+//! for real over instrumented arrays and run data-parallel on four
+//! lanes, as the multi-core originals do: the hash join partitions the
+//! build and probe relations; the sort-merge join sorts four runs in
+//! parallel before a merge scan. The bucket array is accessed
+//! pseudo-randomly while the relations stream — two very different
+//! per-variable patterns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdam_trace::Trace;
+
+use crate::recorder::run_parallel;
+use crate::{Recorder, Scale, Workload};
+
+const LANES: usize = 4;
+
+fn lane_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = n.div_ceil(LANES);
+    (0..LANES)
+        .map(|l| (l * chunk).min(n)..((l + 1) * chunk).min(n))
+        .collect()
+}
+
+/// A build/probe hash join of two integer relations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashJoin;
+
+impl Workload for HashJoin {
+    fn name(&self) -> &str {
+        "hash-join"
+    }
+
+    fn generate(&self, scale: Scale) -> Trace {
+        let n = scale.n;
+        let mut rng = StdRng::seed_from_u64(scale.seed);
+        let build: Vec<u64> = (0..n as u64).collect();
+        let probe: Vec<u64> = (0..2 * n).map(|_| rng.gen_range(0..2 * n as u64)).collect();
+        let buckets = (2 * n).next_power_of_two();
+
+        let mut rec = Recorder::new();
+        let r_build = rec.alloc(n, 16);
+        let r_probe = rec.alloc(2 * n, 16);
+        let r_table = rec.alloc(buckets, 16);
+        let r_out = rec.alloc(2 * n, 16);
+        // Radix-partition buffers (Balkesen et al.: the radix join first
+        // scatters tuples into 2^k partitions). Each partition is a
+        // power-of-two-sized slot range, so the write cursors of all
+        // partitions advance at power-of-two-aligned addresses — the
+        // multi-cursor channel-conflict pattern SDAM untangles.
+        const PARTS: usize = 64;
+        let slot = (2 * n / PARTS).next_power_of_two();
+        let r_parts = rec.alloc(PARTS * slot, 16);
+
+        let hash = |k: u64| ((k.wrapping_mul(0x9e3779b97f4a7c15)) as usize) & (buckets - 1);
+
+        // Radix-partition pass: four lanes scatter their slice of the
+        // probe relation into the partition buffers.
+        let probe_parts = lane_ranges(2 * n);
+        run_parallel(&mut rec, LANES, |lane, r| {
+            let mut cursors = vec![0usize; PARTS];
+            for i in probe_parts[lane].clone() {
+                if r.len() * LANES >= scale.accesses / 4 {
+                    break;
+                }
+                r.read(r_probe, i);
+                let p = (hash(probe[i]) >> 4) & (PARTS - 1);
+                r.write(r_parts, p * slot + cursors[p] % slot);
+                cursors[p] += 1;
+            }
+        });
+
+        // Build phase: four lanes scatter their partition into buckets.
+        let mut table: Vec<Option<u64>> = vec![None; buckets];
+        let build_ranges = lane_ranges(n);
+        run_parallel(&mut rec, LANES, |lane, r| {
+            for i in build_ranges[lane].clone() {
+                if r.len() * LANES >= scale.accesses / 2 {
+                    break;
+                }
+                r.read(r_build, i);
+                let k = build[i];
+                let mut b = hash(k);
+                loop {
+                    r.read(r_table, b);
+                    if table[b].is_none() {
+                        table[b] = Some(k);
+                        r.write(r_table, b);
+                        break;
+                    }
+                    b = (b + 1) & (buckets - 1);
+                }
+            }
+        });
+
+        // Probe phase: four lanes gather from buckets.
+        let probe_ranges = lane_ranges(2 * n);
+        run_parallel(&mut rec, LANES, |lane, r| {
+            let mut matches = 0usize;
+            for i in probe_ranges[lane].clone() {
+                if (rec_budget_left(r.len(), scale.accesses)) == 0 {
+                    break;
+                }
+                r.read(r_probe, i);
+                let k = probe[i];
+                let mut b = hash(k);
+                loop {
+                    r.read(r_table, b);
+                    match table[b] {
+                        Some(v) if v == k => {
+                            r.write(r_out, (lane * n / 2 + matches) % (2 * n));
+                            matches += 1;
+                            break;
+                        }
+                        Some(_) => b = (b + 1) & (buckets - 1),
+                        None => break,
+                    }
+                }
+            }
+        });
+        rec.into_trace()
+    }
+}
+
+fn rec_budget_left(done: usize, budget: usize) -> usize {
+    (budget / LANES).saturating_sub(done)
+}
+
+/// A two-relation sort-merge join: four sorted runs per relation built
+/// in parallel, then a merge scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeSortJoin;
+
+impl Workload for MergeSortJoin {
+    fn name(&self) -> &str {
+        "merge-join"
+    }
+
+    fn generate(&self, scale: Scale) -> Trace {
+        // Size the relations so both sorts complete within their share
+        // of the access budget (cost ≈ 3·n·log2(n) each): a finished
+        // sort is what makes the final merge scan actually join.
+        let sort_budget = scale.accesses * 3 / 8;
+        let mut n = scale.n.next_power_of_two();
+        while n > 4 && 3 * n * n.trailing_zeros() as usize > sort_budget {
+            n /= 2;
+        }
+        let mut rng = StdRng::seed_from_u64(scale.seed);
+        let mut rec = Recorder::new();
+        let r_a = rec.alloc(n, 8);
+        let r_b = rec.alloc(n, 8);
+        let r_tmp = rec.alloc(n, 8);
+        let r_out = rec.alloc(n, 16);
+
+        let mut a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4 * n as u64)).collect();
+        let mut b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4 * n as u64)).collect();
+
+        // Parallel bottom-up merge sort: each lane sorts its quarter
+        // (recorded), then the quarters are merged (recorded on lane 0's
+        // thread id via the parent).
+        let sort = |data: &mut Vec<u64>, region, rec: &mut Recorder| {
+            let quarter = n / LANES;
+            let qranges = lane_ranges(n);
+            run_parallel(rec, LANES, |lane, r| {
+                let range = qranges[lane].clone();
+                let mut width = 1usize;
+                while width < quarter.max(1) {
+                    let mut tmp = data.clone();
+                    let mut lo = range.start;
+                    while lo < range.end {
+                        let mid = (lo + width).min(range.end);
+                        let hi = (lo + 2 * width).min(range.end);
+                        let (mut i, mut j, mut k) = (lo, mid, lo);
+                        while i < mid && j < hi {
+                            r.read(region, i);
+                            r.read(region, j);
+                            if data[i] <= data[j] {
+                                tmp[k] = data[i];
+                                i += 1;
+                            } else {
+                                tmp[k] = data[j];
+                                j += 1;
+                            }
+                            r.write(r_tmp, k);
+                            k += 1;
+                        }
+                        while i < mid {
+                            r.read(region, i);
+                            tmp[k] = data[i];
+                            r.write(r_tmp, k);
+                            i += 1;
+                            k += 1;
+                        }
+                        while j < hi {
+                            r.read(region, j);
+                            tmp[k] = data[j];
+                            r.write(r_tmp, k);
+                            j += 1;
+                            k += 1;
+                        }
+                        lo = hi;
+                    }
+                    data[range.clone()].copy_from_slice(&tmp[range.clone()]);
+                    width *= 2;
+                }
+            });
+            // Final cross-quarter merge (single-threaded, like the last
+            // merge level of a parallel sort). Done without recording
+            // per-element (it re-reads what the lanes just wrote).
+            data.sort_unstable();
+        };
+        sort(&mut a, r_a, &mut rec);
+        sort(&mut b, r_b, &mut rec);
+
+        // Merge scan for the join, partitioned by value range.
+        let (mut i, mut j, mut out) = (0usize, 0usize, 0usize);
+        while i < n && j < n && rec.len() < scale.accesses {
+            rec.read(r_a, i);
+            rec.read(r_b, j);
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    rec.write(r_out, out % n);
+                    out += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        rec.into_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_join_uses_five_variables_and_lanes() {
+        let t = HashJoin.generate(Scale::tiny());
+        assert_eq!(t.variables().len(), 5);
+        let threads: std::collections::HashSet<u16> = t.iter().map(|a| a.thread.0).collect();
+        assert_eq!(threads.len(), 4);
+    }
+
+    #[test]
+    fn hash_join_table_accesses_are_scattered() {
+        // The bucket array's accesses should be far less sequential than
+        // the probe relation's.
+        let t = HashJoin.generate(Scale::tiny());
+        // Look at one lane's stream (lanes interleave in the merged
+        // trace and would fake large jumps).
+        let lane0 = |v: sdam_trace::VariableId| -> Vec<u64> {
+            t.iter()
+                .filter(|a| a.variable == v && a.thread.0 == 0)
+                .map(|a| a.addr)
+                .collect()
+        };
+        let seq_frac = |addrs: Vec<u64>| {
+            if addrs.len() < 2 {
+                return 1.0;
+            }
+            let seq = addrs
+                .windows(2)
+                .filter(|w| w[1] >= w[0] && w[1] - w[0] <= 64)
+                .count();
+            seq as f64 / (addrs.len() - 1) as f64
+        };
+        let vars = t.variables();
+        let probe_seq = seq_frac(lane0(vars[1]));
+        let table_seq = seq_frac(lane0(vars[2]));
+        assert!(
+            probe_seq > table_seq,
+            "probe ({probe_seq}) should be more sequential than table ({table_seq})"
+        );
+    }
+
+    #[test]
+    fn merge_join_emits_sorted_merge_passes() {
+        let t = MergeSortJoin.generate(Scale::tiny());
+        assert_eq!(t.variables().len(), 4);
+        assert!(t.iter().any(|a| a.is_write));
+    }
+
+    #[test]
+    fn both_deterministic() {
+        assert_eq!(
+            HashJoin.generate(Scale::tiny()),
+            HashJoin.generate(Scale::tiny())
+        );
+        assert_eq!(
+            MergeSortJoin.generate(Scale::tiny()),
+            MergeSortJoin.generate(Scale::tiny())
+        );
+    }
+}

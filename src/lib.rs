@@ -1,0 +1,23 @@
+//! # sdam-repro — reproduction of *Software-Defined Address Mapping*
+//!
+//! This facade crate re-exports the whole workspace and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). Start with [`sdam`] — the end-to-end library — or run:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! See README.md for the architecture overview, DESIGN.md for the
+//! system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use sdam;
+pub use sdam_hbm;
+pub use sdam_mapping;
+pub use sdam_mem;
+pub use sdam_ml;
+pub use sdam_sys;
+pub use sdam_trace;
+pub use sdam_workloads;

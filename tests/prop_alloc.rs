@@ -1,0 +1,141 @@
+//! Property-based tests for the allocation stack: random alloc/free
+//! sequences must never hand out overlapping memory, must conserve
+//! pages, and must respect SDAM's one-mapping-per-chunk invariant.
+
+use proptest::prelude::*;
+use sdam_mapping::MappingId;
+use sdam_mem::buddy::BuddyAllocator;
+use sdam_mem::heap::MultiHeapMalloc;
+use sdam_mem::phys::ChunkAllocator;
+
+/// An alloc/free script: positive = alloc of that order/size bucket,
+/// negative-ish handled by the interpreting loop freeing oldest.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8),
+    FreeOldest,
+}
+
+fn ops(max_alloc: u8) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![(0..=max_alloc).prop_map(Op::Alloc), Just(Op::FreeOldest),],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buddy_never_overlaps_and_conserves(script in ops(3)) {
+        let mut b = BuddyAllocator::new(6); // 64 pages
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for op in script {
+            match op {
+                Op::Alloc(order) => {
+                    if let Some(off) = b.alloc(order as u32) {
+                        let len = 1u64 << order;
+                        for &(o, ord) in &live {
+                            let l = 1u64 << ord;
+                            prop_assert!(
+                                off + len <= o || o + l <= off,
+                                "block [{off},+{len}) overlaps [{o},+{l})"
+                            );
+                        }
+                        live.push((off, order as u32));
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let (off, ord) = live.remove(0);
+                        b.free(off, ord);
+                    }
+                }
+            }
+            let live_pages: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
+            prop_assert_eq!(b.allocated_pages(), live_pages, "page accounting drifted");
+        }
+    }
+
+    #[test]
+    fn chunk_allocator_mapping_invariant(script in ops(2)) {
+        // 32 MB, 2 MB chunks, 4 KB pages; three mappings in rotation.
+        let mut a = ChunkAllocator::new(25, 21, 12);
+        let mut live: Vec<(sdam_mapping::PhysAddr, MappingId)> = Vec::new();
+        let mut next_mapping = 0u8;
+        for op in script {
+            match op {
+                Op::Alloc(order) => {
+                    let id = MappingId(next_mapping % 3 + 1);
+                    next_mapping = next_mapping.wrapping_add(1);
+                    if let Ok(r) = a.alloc_block(id, order as u32) {
+                        live.push((r.pa, id));
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let (pa, _) = live.remove(0);
+                        a.free_block(pa).unwrap();
+                    }
+                }
+            }
+            // SDAM's core invariant: every live frame sits in a chunk of
+            // its own mapping.
+            for &(pa, id) in &live {
+                prop_assert_eq!(a.mapping_of_frame(pa), Some(id));
+            }
+        }
+        // Free everything: all chunks return to the global list.
+        for (pa, _) in live {
+            a.free_block(pa).unwrap();
+        }
+        prop_assert_eq!(a.free_chunk_count(), 16);
+        prop_assert_eq!(a.internal_fragmentation_pages(), 0);
+    }
+
+    #[test]
+    fn multi_heap_allocations_never_overlap(sizes in proptest::collection::vec(1u64..5000, 1..80)) {
+        let mut m = MultiHeapMalloc::with_heap_bytes(12, 16 * 4096);
+        let id1 = m.add_addr_map().unwrap();
+        let id2 = m.add_addr_map().unwrap();
+        let mut live: Vec<(u64, u64, MappingId)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let id = if i % 2 == 0 { id1 } else { id2 };
+            let va = m.malloc(size, Some(id)).unwrap();
+            for &(s, l, _) in &live {
+                prop_assert!(
+                    va.0 + size <= s || s + l <= va.0,
+                    "allocation overlaps an existing one"
+                );
+            }
+            // Pages never mix mappings.
+            prop_assert_eq!(m.mapping_of(va), Some(id));
+            live.push((va.0, size, id));
+        }
+        // Every page is owned by at most one mapping.
+        let mut page_owner = std::collections::HashMap::new();
+        for &(start, len, id) in &live {
+            for page in (start >> 12)..=((start + len - 1) >> 12) {
+                let owner = page_owner.entry(page).or_insert(id);
+                prop_assert_eq!(*owner, id, "page {} mixes mappings", page);
+            }
+        }
+        // Free all; live bytes return to zero.
+        for (start, _, _) in live {
+            m.free(sdam_mem::VirtAddr(start)).unwrap();
+        }
+        prop_assert_eq!(m.live_bytes(id1) + m.live_bytes(id2), 0);
+    }
+
+    #[test]
+    fn fragmentation_bounded_by_mapping_count(mappings in 1u8..8) {
+        // The paper's §4 bound: worst-case waste is one chunk per access
+        // pattern, independent of the number of chunks.
+        let mut a = ChunkAllocator::new(26, 21, 12); // 32 chunks
+        for m in 1..=mappings {
+            a.alloc_page(MappingId(m)).unwrap();
+        }
+        let bound = mappings as u64 * (a.pages_per_chunk() - 1);
+        prop_assert!(a.internal_fragmentation_pages() <= bound);
+    }
+}
