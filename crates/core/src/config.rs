@@ -71,6 +71,38 @@ impl std::fmt::Display for SystemConfig {
     }
 }
 
+/// How much host parallelism the evaluation pipeline may use.
+///
+/// Parallel execution is *deterministic*: every tier (per-config runs
+/// in [`crate::pipeline::compare`], per-workload profiling in
+/// [`crate::pipeline::run_corun`], and the channel-sharded memory
+/// simulation inside `Machine::run_with`) produces reports bit-identical
+/// to [`Parallelism::Serial`]. The knob only trades wall-clock for
+/// host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded everywhere (the reference behaviour).
+    Serial,
+    /// Use exactly this many worker threads per parallel region.
+    Threads(usize),
+    /// Use the host's available parallelism.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The worker-thread count this setting resolves to (>= 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// Everything an end-to-end run needs besides the workload and the
 /// configuration.
 #[derive(Debug, Clone)]
@@ -90,6 +122,9 @@ pub struct Experiment {
     pub profile_seed: u64,
     /// ML/DL training configuration.
     pub training: sdam_ml::TrainingConfig,
+    /// Host-thread budget for the pipeline (deterministic; see
+    /// [`Parallelism`]).
+    pub parallelism: Parallelism,
 }
 
 impl Experiment {
@@ -103,6 +138,7 @@ impl Experiment {
             scale: Scale::tiny(),
             profile_seed: 7,
             training: sdam_ml::TrainingConfig::laptop(),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -165,5 +201,14 @@ mod tests {
     fn quick_experiment_is_valid() {
         Experiment::quick().validate();
         Experiment::bench().validate();
+    }
+
+    #[test]
+    fn parallelism_resolves_to_at_least_one_thread() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Threads(6).threads(), 6);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert!(Parallelism::Auto.threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
     }
 }

@@ -52,11 +52,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod par;
 pub mod pipeline;
 pub mod profiling;
 pub mod report;
 pub mod system;
 
-pub use config::{Experiment, SystemConfig};
-pub use report::{Comparison, RunResult};
+pub use config::{Experiment, Parallelism, SystemConfig};
+pub use report::{Comparison, PhaseTimes, RunResult};
 pub use system::{ProcessId, SdamSystem};

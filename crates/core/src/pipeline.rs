@@ -2,6 +2,7 @@
 //! profile → select → allocate → execute → report.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use sdam_mapping::MappingId;
 use sdam_sys::{Machine, MappingEngine};
@@ -9,8 +10,9 @@ use sdam_trace::VariableId;
 use sdam_workloads::Workload;
 
 use crate::config::{Experiment, SystemConfig};
+use crate::par::par_map_indexed;
 use crate::profiling::{self, ProfileData, Selection};
-use crate::report::{Comparison, RunResult};
+use crate::report::{Comparison, PhaseTimes, RunResult};
 use crate::system::SdamSystem;
 
 /// Runs one workload under one configuration.
@@ -40,14 +42,18 @@ pub fn run_with_profile(
     data: Option<&ProfileData>,
 ) -> RunResult {
     exp.validate();
+    let mut phases = PhaseTimes::default();
     let owned;
     let data = if config.needs_profiling() && data.is_none() {
+        let t0 = Instant::now();
         owned = profiling::profile_on_baseline(workload, exp);
+        phases.profile = t0.elapsed();
         Some(&owned)
     } else {
         data
     };
 
+    let t0 = Instant::now();
     let (selection, learning_time) = match data {
         Some(d) if config.needs_profiling() => {
             let out = profiling::select_mappings(config, d, exp);
@@ -58,8 +64,10 @@ pub fn run_with_profile(
             (out.selection, None)
         }
     };
+    phases.select = t0.elapsed();
 
     // ---- Allocation phase on the evaluation input.
+    let t0 = Instant::now();
     let eval = workload.generate(exp.scale);
     let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
     let var_mapping: BTreeMap<VariableId, MappingId> = match &selection {
@@ -73,6 +81,7 @@ pub fn run_with_profile(
         _ => BTreeMap::new(),
     };
     let pa_trace = profiling::materialize(&eval, &mut sys, &var_mapping);
+    phases.materialize = t0.elapsed();
 
     // ---- Execution phase.
     let engine = match selection {
@@ -82,16 +91,23 @@ pub fn run_with_profile(
         Selection::Sdam { .. } => MappingEngine::Chunked(sys.cmt_snapshot()),
     };
     let mut machine = Machine::new(exp.machine, exp.geometry).with_timing(exp.timing);
-    let report = machine.run(&pa_trace, &engine);
+    let t0 = Instant::now();
+    let report = machine.run_with(&pa_trace, &engine, exp.parallelism.threads());
+    phases.execute = t0.elapsed();
     RunResult {
         config,
         report,
         learning_time,
+        phases,
     }
 }
 
 /// Compares a workload across configurations; the BS+DM baseline is
 /// prepended when absent. Profiling runs once and is shared.
+///
+/// The per-configuration runs are independent given the shared profile,
+/// so they fan out across `exp.parallelism` worker threads; results come
+/// back in lineup order and are bit-identical to a serial sweep.
 pub fn compare(workload: &dyn Workload, configs: &[SystemConfig], exp: &Experiment) -> Comparison {
     let mut lineup = Vec::new();
     if !configs.contains(&SystemConfig::BsDm) {
@@ -100,10 +116,9 @@ pub fn compare(workload: &dyn Workload, configs: &[SystemConfig], exp: &Experime
     lineup.extend_from_slice(configs);
     let needs_profile = lineup.iter().any(|c| c.needs_profiling());
     let data = needs_profile.then(|| profiling::profile_on_baseline(workload, exp));
-    let results = lineup
-        .into_iter()
-        .map(|c| run_with_profile(workload, c, exp, data.as_ref()))
-        .collect();
+    let results = par_map_indexed(exp.parallelism.threads(), lineup, |_, c| {
+        run_with_profile(workload, c, exp, data.as_ref())
+    });
     Comparison {
         workload: workload.name().to_string(),
         results,
@@ -127,13 +142,19 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
     assert!(!workloads.is_empty(), "need at least one workload");
     exp.validate();
 
+    let mut phases = PhaseTimes::default();
+
     // Profile each workload independently (per-process profiling, as the
     // paper's offline flow does), then merge the profiles: variables are
-    // renumbered per workload so ids never collide.
-    let profiles: Vec<ProfileData> = workloads
-        .iter()
-        .map(|w| profiling::profile_on_baseline(*w, exp))
-        .collect();
+    // renumbered per workload so ids never collide. The per-workload
+    // profiling runs are independent, so they fan out across the
+    // experiment's thread budget (merge order stays the input order).
+    let t0 = Instant::now();
+    let profiles: Vec<ProfileData> =
+        par_map_indexed(exp.parallelism.threads(), workloads.to_vec(), |_, w| {
+            profiling::profile_on_baseline(w, exp)
+        });
+    phases.profile = t0.elapsed();
 
     // Renumber variables: workload i's variable v becomes
     // v + i * 100_000 (traces never have that many variables).
@@ -151,14 +172,17 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
     }
     merged.aggregate = sdam_mapping::BitFlipRateVector::mean(agg_members);
 
+    let t0 = Instant::now();
     let out = profiling::select_mappings(config, &merged, exp);
+    phases.select = t0.elapsed();
 
     // Materialize all workloads into ONE system; each runs in its own
-    // process, its trace renumbered and pinned to its core set.
-    let eval: Vec<sdam_trace::Trace> = workloads
-        .iter()
-        .enumerate()
-        .map(|(i, w)| {
+    // process, its trace renumbered and pinned to its core set. Trace
+    // generation is per-workload independent and fans out; allocation
+    // into the shared system below stays serial (one physical memory).
+    let t0 = Instant::now();
+    let eval: Vec<sdam_trace::Trace> =
+        par_map_indexed(exp.parallelism.threads(), workloads.to_vec(), |i, w| {
             w.generate(exp.scale)
                 .iter()
                 .map(|a| sdam_trace::MemAccess {
@@ -170,8 +194,7 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
                     ..*a
                 })
                 .collect()
-        })
-        .collect();
+        });
 
     let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
     let var_mapping: BTreeMap<VariableId, MappingId> = match &out.selection {
@@ -194,6 +217,7 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
         pa_traces.push(profiling::materialize_in(t, &mut sys, pid, &var_mapping));
     }
     let combined = sdam_trace::gen::interleave_round_robin(pa_traces);
+    phases.materialize = t0.elapsed();
 
     let engine = match out.selection {
         Selection::GlobalIdentity => MappingEngine::identity(),
@@ -205,11 +229,14 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
     let mut machine_cfg = exp.machine;
     machine_cfg.num_cores *= workloads.len();
     let mut machine = Machine::new(machine_cfg, exp.geometry).with_timing(exp.timing);
-    let report = machine.run(&combined, &engine);
+    let t0 = Instant::now();
+    let report = machine.run_with(&combined, &engine, exp.parallelism.threads());
+    phases.execute = t0.elapsed();
     RunResult {
         config,
         report,
         learning_time: Some(out.learning_time),
+        phases,
     }
 }
 

@@ -6,6 +6,30 @@ use sdam_sys::ExecutionReport;
 
 use crate::config::SystemConfig;
 
+/// Wall-clock spent in each pipeline phase of one run.
+///
+/// These are *host* times (how long the evaluation itself took), not
+/// simulated cycles; the bench harness records them so BENCH reports
+/// capture the effect of [`crate::config::Parallelism`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Profiling run(s) on the training input.
+    pub profile: Duration,
+    /// Mapping selection (clustering / training / hash optimization).
+    pub select: Duration,
+    /// Evaluation-trace generation and allocation into the system.
+    pub materialize: Duration,
+    /// The machine-model execution.
+    pub execute: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.profile + self.select + self.materialize + self.execute
+    }
+}
+
 /// One workload × configuration run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -16,6 +40,8 @@ pub struct RunResult {
     /// Time spent in clustering / DL training during selection (the
     /// paper's Fig. 13 profiling-time metric), if any.
     pub learning_time: Option<Duration>,
+    /// Host wall-clock per pipeline phase.
+    pub phases: PhaseTimes,
 }
 
 /// A workload compared across configurations, with `BS+DM` as the
@@ -136,6 +162,7 @@ mod tests {
                 per_core: vec![],
             },
             learning_time: None,
+            phases: PhaseTimes::default(),
         }
     }
 

@@ -8,6 +8,25 @@ use crate::{Cycle, DecodedAddr, Geometry, Timing};
 /// memory-controller IP.
 pub const DEFAULT_REORDER_WINDOW: usize = 16;
 
+/// The permutation-based bank interleave of Zhang, Zhu & Zhang
+/// (MICRO-33): the effective bank is the stated bank XOR an XOR-fold of
+/// the whole row index, so streams differing in *any* row bit (low or
+/// high) land on different banks. Standalone so that channel-sharded
+/// simulation (which bypasses [`Hbm::service_rw`]) applies the exact
+/// same transform.
+pub fn bank_hashed(geometry: Geometry, mut addr: DecodedAddr) -> DecodedAddr {
+    let bank_bits = geometry.bank_bits();
+    let mask = (1u64 << bank_bits) - 1;
+    let mut fold = 0u64;
+    let mut row = addr.row;
+    while row != 0 {
+        fold ^= row & mask;
+        row >>= bank_bits;
+    }
+    addr.bank ^= fold;
+    addr
+}
+
 /// An HBM (or DDR) device simulator.
 ///
 /// Channels are fully independent — the defining property of
@@ -78,22 +97,20 @@ impl Hbm {
         self
     }
 
-    fn effective(&self, mut addr: DecodedAddr) -> DecodedAddr {
+    fn effective(&self, addr: DecodedAddr) -> DecodedAddr {
         if self.bank_hash {
-            let bank_bits = self.geometry.bank_bits();
-            let mask = (1u64 << bank_bits) - 1;
-            // XOR-fold the whole row index into the bank so that streams
-            // differing in *any* row bit (low or high) land on different
-            // banks.
-            let mut fold = 0u64;
-            let mut row = addr.row;
-            while row != 0 {
-                fold ^= row & mask;
-                row >>= bank_bits;
-            }
-            addr.bank ^= fold;
+            bank_hashed(self.geometry, addr)
+        } else {
+            addr
         }
-        addr
+    }
+
+    /// The address as the controller actually presents it to a channel
+    /// (bank hash applied when enabled). Exposed so external schedulers
+    /// — the channel-sharded machine model in `sdam-sys` — can replicate
+    /// the device's behavior exactly.
+    pub fn effective_addr(&self, addr: DecodedAddr) -> DecodedAddr {
+        self.effective(addr)
     }
 
     /// The device geometry.
@@ -168,6 +185,77 @@ impl Hbm {
             self.makespan = self.makespan.max(done);
         }
         self.stats()
+    }
+
+    /// Like [`Hbm::run_open_loop_windowed`], but draining the channels on
+    /// `threads` OS threads. Channels are fully independent state
+    /// machines, so sharding the drain by channel is exact: the returned
+    /// statistics are identical to the serial drain's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `threads` is zero, or an address is out of
+    /// range.
+    pub fn run_open_loop_windowed_par<I>(
+        &mut self,
+        addrs: I,
+        window: usize,
+        threads: usize,
+    ) -> SimStats
+    where
+        I: IntoIterator<Item = DecodedAddr>,
+    {
+        assert!(threads > 0, "need at least one drain thread");
+        if threads == 1 {
+            return self.run_open_loop_windowed(addrs, window);
+        }
+        for a in addrs {
+            let a = self.effective(a);
+            self.channels[a.channel as usize].push(a, 0);
+            self.requests += 1;
+        }
+        let timing = self.timing;
+        // Round-robin sharding keeps per-thread load even under skewed
+        // channel histograms without any cross-thread communication.
+        let mut shards: Vec<Vec<&mut ChannelSim>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            shards[i % threads].push(ch);
+        }
+        let done = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|mut shard_channels| {
+                    s.spawn(move || {
+                        shard_channels
+                            .iter_mut()
+                            .map(|ch| ch.drain(window, &timing))
+                            .max()
+                            .unwrap_or(0)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("drain thread panicked"))
+                .max()
+                .unwrap_or(0)
+        });
+        self.makespan = self.makespan.max(done);
+        self.stats()
+    }
+
+    /// [`Hbm::run_open_loop`] with a parallel per-channel drain; exact
+    /// same results, `threads`-way faster wall-clock on multi-channel
+    /// devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or an address is out of range.
+    pub fn run_open_loop_par<I>(&mut self, addrs: I, threads: usize) -> SimStats
+    where
+        I: IntoIterator<Item = DecodedAddr>,
+    {
+        self.run_open_loop_windowed_par(addrs, DEFAULT_REORDER_WINDOW, threads)
     }
 
     /// A snapshot of the statistics accumulated since construction or the
@@ -275,6 +363,26 @@ mod tests {
         let sb = b.stats();
         assert_eq!(sa.makespan, sb.makespan);
         assert_eq!(sa.per_channel, sb.per_channel);
+    }
+
+    #[test]
+    fn parallel_drain_identical_to_serial() {
+        let geom = Geometry::hbm2_8gb();
+        // Stride 3 walks all channels with uneven per-bank patterns; a
+        // channel-pinning stride stresses the skewed-shard case.
+        for stride in [1u64, 3, 32] {
+            let stream = stride_stream(geom, stride, 8_192);
+            let mut serial = device();
+            let expected = serial.run_open_loop(stream.clone());
+            for threads in [2usize, 4, 7] {
+                let mut par = device();
+                let got = par.run_open_loop_par(stream.clone(), threads);
+                assert_eq!(
+                    expected, got,
+                    "stride {stride} x {threads} threads diverged"
+                );
+            }
+        }
     }
 
     #[test]

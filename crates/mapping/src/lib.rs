@@ -66,7 +66,7 @@ pub mod shuffle;
 pub use addr::{MappingId, PhysAddr};
 pub use amu::{Amu, AmuConfig};
 pub use bfrv::BitFlipRateVector;
-pub use cmt::{Cmt, CmtError};
+pub use cmt::{Cmt, CmtError, CmtLookupCache};
 pub use hash::{optimize_hash, HashMapping};
 pub use mapping::{AddressMapping, IdentityMapping};
 pub use perm::{BitPermutation, PermError};

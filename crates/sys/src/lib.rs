@@ -43,4 +43,4 @@ pub mod path;
 
 pub use cache::{Cache, CacheConfig};
 pub use machine::{ExecutionReport, Machine, MachineConfig};
-pub use path::MappingEngine;
+pub use path::{MappingEngine, TranslationCache};

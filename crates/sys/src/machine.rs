@@ -12,13 +12,16 @@
 //! form.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 
-use sdam_hbm::{Geometry, Hbm, Timing};
+use sdam_hbm::channel::ChannelSim;
+use sdam_hbm::{bank_hashed, ChannelStats, DecodedAddr, Geometry, Hbm, SimStats, Timing};
 use sdam_mapping::PhysAddr;
 use sdam_trace::Trace;
 
 use crate::cache::{Cache, CacheConfig, CacheOutcome};
-use crate::path::MappingEngine;
+use crate::path::{MappingEngine, TranslationCache};
 
 /// Machine parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -216,6 +219,8 @@ impl Machine {
         let mut memory_requests = 0u64;
         let mut l1_hits = 0u64;
         let mut per_core = vec![CoreStats::default(); n];
+        let mut caches = vec![TranslationCache::default(); n];
+        let lookup = engine.lookup_cycles(&self.timing);
 
         for a in trace.iter() {
             let core = a.thread.index() % n;
@@ -246,11 +251,11 @@ impl Machine {
                     clocks[core] = oldest;
                 }
             }
-            let ha = engine.decode(PhysAddr(a.addr), self.geometry);
+            let ha = engine.decode_cached(PhysAddr(a.addr), self.geometry, &mut caches[core]);
             // The CMT lookup sits on the miss path; its SRAM latency is
             // constant (paper §5.3: 6 ns, negligible next to >130 ns of
             // HBM). Global mappings are combinational.
-            let issue = clocks[core] + engine.lookup_cycles(&self.timing);
+            let issue = clocks[core] + lookup;
             let completion = hbm.service_rw(ha, a.is_write, issue);
             outstanding[core].push_back(completion);
             clocks[core] += 1; // issue slot
@@ -273,6 +278,195 @@ impl Machine {
             memory_requests,
             l1_hits,
             memory: hbm.stats(),
+            mapping_name: engine.name().to_string(),
+            per_core,
+        }
+    }
+
+    /// [`Machine::run`] with the memory device sharded across `threads`
+    /// worker threads by channel. The report is bit-identical to the
+    /// serial run's.
+    ///
+    /// Why this is exact: channels are independent state machines, and
+    /// the core model (the serial driver here) issues each channel's
+    /// requests in global trace order with fully determined arrival
+    /// cycles. The driver only *consumes* a completion when a core's
+    /// miss window fills (or at the final drain), so up to
+    /// `num_cores x mlp_window` requests are in flight between the
+    /// driver and the workers — that slack is the parallelism. Each
+    /// completion is published through a per-request slot; the driver
+    /// blocks on a slot only when the serial model would have blocked on
+    /// that same request.
+    ///
+    /// `threads <= 1` falls back to the serial path.
+    pub fn run_with(
+        &mut self,
+        trace: &Trace,
+        engine: &MappingEngine,
+        threads: usize,
+    ) -> ExecutionReport {
+        if threads <= 1 {
+            return self.run(trace, engine);
+        }
+        self.run_sharded(trace, engine, threads)
+    }
+
+    fn run_sharded(
+        &mut self,
+        trace: &Trace,
+        engine: &MappingEngine,
+        threads: usize,
+    ) -> ExecutionReport {
+        /// Sentinel: completion not yet published.
+        const PENDING: u64 = u64::MAX;
+
+        let n = self.config.num_cores;
+        let geom = self.geometry;
+        let timing = self.timing;
+        let num_channels = geom.num_channels();
+        let workers = threads.min(num_channels);
+        let lookup = engine.lookup_cycles(&timing);
+
+        // One completion slot per potential miss (bounded by the trace
+        // length; 8 B per access).
+        let slots: Vec<AtomicU64> = (0..trace.len()).map(|_| AtomicU64::new(PENDING)).collect();
+        let slots = &slots[..];
+        let wait_for = |slot: usize| -> u64 {
+            let mut spins = 0u32;
+            loop {
+                let v = slots[slot].load(Ordering::Acquire);
+                if v != PENDING {
+                    return v;
+                }
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        };
+
+        let mut l1s: Vec<Option<Cache>> = (0..n).map(|_| self.config.l1.map(Cache::new)).collect();
+        let mut llc: Option<Cache> = self.config.llc.map(Cache::new);
+        let mut clocks = vec![0u64; n];
+        // Slot indices (not completions) of in-flight misses per core.
+        let mut outstanding: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+        let mut memory_requests = 0u64;
+        let mut l1_hits = 0u64;
+        let mut per_core = vec![CoreStats::default(); n];
+        let mut caches = vec![TranslationCache::default(); n];
+
+        let per_channel = std::thread::scope(|s| {
+            // Worker w owns channels where `channel % workers == w`; it
+            // receives that subset of the trace's misses in global trace
+            // order (the serial driver sends in trace order), which is
+            // exactly the order `Hbm::service_rw` would apply.
+            let mut senders: Vec<mpsc::Sender<(usize, DecodedAddr, bool, u64)>> = Vec::new();
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let (tx, rx) = mpsc::channel::<(usize, DecodedAddr, bool, u64)>();
+                senders.push(tx);
+                handles.push(s.spawn(move || {
+                    let owned = (num_channels - w).div_ceil(workers);
+                    let mut chans: Vec<ChannelSim> = (0..owned)
+                        .map(|_| ChannelSim::new(geom.banks_per_channel()))
+                        .collect();
+                    for (slot, addr, is_write, issue) in rx {
+                        let local = addr.channel as usize / workers;
+                        let done = chans[local].service_in_order_rw(addr, is_write, issue, &timing);
+                        slots[slot].store(done, Ordering::Release);
+                    }
+                    chans
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| (w + i * workers, c.stats()))
+                        .collect::<Vec<(usize, ChannelStats)>>()
+                }));
+            }
+
+            // The driver: the exact serial core model, with `service_rw`
+            // replaced by a send and completions resolved lazily.
+            for (slot, a) in trace.iter().enumerate() {
+                let core = a.thread.index() % n;
+                per_core[core].accesses += 1;
+                clocks[core] += self.config.compute_cycles;
+
+                if let Some(l1) = &mut l1s[core] {
+                    if l1.access(a.addr) == CacheOutcome::Hit {
+                        clocks[core] += l1.config().hit_latency;
+                        l1_hits += 1;
+                        continue;
+                    }
+                }
+                if let Some(llc) = &mut llc {
+                    if llc.access(a.addr) == CacheOutcome::Hit {
+                        clocks[core] += llc.config().hit_latency;
+                        continue;
+                    }
+                }
+
+                memory_requests += 1;
+                per_core[core].misses += 1;
+                if outstanding[core].len() >= self.config.mlp_window {
+                    let oldest_slot = outstanding[core].pop_front().expect("window full");
+                    let oldest = wait_for(oldest_slot);
+                    if oldest > clocks[core] {
+                        per_core[core].window_stall_cycles += oldest - clocks[core];
+                        clocks[core] = oldest;
+                    }
+                }
+                let ha = engine.decode_cached(PhysAddr(a.addr), geom, &mut caches[core]);
+                // `Hbm::service_rw` applies the controller's bank hash
+                // internally; replicate it here so the sharded channels
+                // see the same effective addresses.
+                let eff = bank_hashed(geom, ha);
+                let issue = clocks[core] + lookup;
+                senders[eff.channel as usize % workers]
+                    .send((slot, eff, a.is_write, issue))
+                    .expect("worker alive while driver runs");
+                outstanding[core].push_back(slot);
+                clocks[core] += 1; // issue slot
+            }
+            drop(senders); // workers drain and exit
+
+            let mut per_channel = vec![ChannelStats::default(); num_channels];
+            for h in handles {
+                for (ch, stats) in h.join().expect("channel worker panicked") {
+                    per_channel[ch] = stats;
+                }
+            }
+            per_channel
+        });
+
+        // Drain: a core finishes when its last miss returns. All slots
+        // are published by now (the workers exited).
+        for c in 0..n {
+            let last_mem = outstanding[c].back().map(|&s| wait_for(s)).unwrap_or(0);
+            if last_mem > clocks[c] {
+                per_core[c].window_stall_cycles += last_mem - clocks[c];
+                clocks[c] = last_mem;
+            }
+            per_core[c].cycles = clocks[c];
+        }
+        let cycles = clocks.iter().copied().max().unwrap_or(0);
+
+        let makespan = per_channel
+            .iter()
+            .map(|c| c.last_completion)
+            .max()
+            .unwrap_or(0);
+        ExecutionReport {
+            cycles,
+            accesses: trace.len() as u64,
+            memory_requests,
+            l1_hits,
+            memory: SimStats {
+                requests: memory_requests,
+                makespan,
+                per_channel,
+                timing,
+            },
             mapping_name: engine.name().to_string(),
             per_core,
         }
@@ -490,6 +684,30 @@ mod tests {
             good.stall_fraction(),
             bad.stall_fraction()
         );
+    }
+
+    #[test]
+    fn sharded_run_identical_to_serial() {
+        // The tentpole invariant: channel-sharded execution reproduces
+        // the serial report bit for bit — cycles, per-core stats, and
+        // the full per-channel memory statistics.
+        let geom = Geometry::hbm2_8gb();
+        let fixed =
+            MappingEngine::Global(Box::new(sdam_mapping::select::shuffle_for_stride(32, geom)));
+        for engine in [MappingEngine::identity(), fixed] {
+            for stride in [1u64, 32, 33] {
+                let trace = mt_stride_trace(stride, 3_000);
+                let mut m = Machine::new(MachineConfig::cpu(), geom);
+                let serial = m.run(&trace, &engine);
+                for threads in [2usize, 4, 7, 64] {
+                    let got = m.run_with(&trace, &engine, threads);
+                    assert_eq!(
+                        serial, got,
+                        "stride {stride} x {threads} threads diverged from serial"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! The memory path: how a physical address becomes a hardware address.
 
 use sdam_hbm::{DecodedAddr, Geometry, HardwareAddr};
-use sdam_mapping::{AddressMapping, Cmt, IdentityMapping, PhysAddr};
+use sdam_mapping::{AddressMapping, Cmt, CmtLookupCache, IdentityMapping, PhysAddr};
+
+/// Per-stream state for the translation fast path: a memo of the last
+/// chunk's CMT entry (the hardware's last-chunk latch, §5.3). One cache
+/// per core — it memoizes that core's chunk locality and must not be
+/// shared across streams. Results are identical to the uncached path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslationCache(CmtLookupCache);
 
 /// The PA→HA stage of the memory controller.
 ///
@@ -34,6 +41,24 @@ impl MappingEngine {
     /// Maps and decodes in one step.
     pub fn decode(&self, pa: PhysAddr, geom: Geometry) -> DecodedAddr {
         geom.decode(self.map(pa))
+    }
+
+    /// [`MappingEngine::decode`] through a per-stream
+    /// [`TranslationCache`]: the chunked path skips the first-level CMT
+    /// walk when consecutive accesses stay in one chunk (almost always —
+    /// a chunk holds 32 K lines). Same result as [`MappingEngine::decode`]
+    /// for every input.
+    #[inline]
+    pub fn decode_cached(
+        &self,
+        pa: PhysAddr,
+        geom: Geometry,
+        cache: &mut TranslationCache,
+    ) -> DecodedAddr {
+        match self {
+            MappingEngine::Global(m) => geom.decode(m.map(pa)),
+            MappingEngine::Chunked(cmt) => geom.decode(cmt.translate_cached(pa, &mut cache.0)),
+        }
     }
 
     /// Cycles the PA→HA stage adds to a miss: the CMT SRAM lookup for
@@ -115,6 +140,24 @@ mod tests {
             "the lookup must stay negligible: {l} vs {}",
             t.closed_latency()
         );
+    }
+
+    #[test]
+    fn decode_cached_matches_decode() {
+        let geom = Geometry::hbm2_8gb();
+        let mut cmt = Cmt::new(33, 21);
+        let mut t: Vec<u32> = (0..15).collect();
+        t.swap(0, 2);
+        cmt.register(MappingId(1), &BitPermutation::new(6, t).unwrap());
+        cmt.assign_chunk(0, MappingId(1)).unwrap();
+        for e in [MappingEngine::identity(), MappingEngine::Chunked(cmt)] {
+            let mut cache = TranslationCache::default();
+            // Chunk-local runs with occasional chunk switches.
+            for pa in (0..(4u64 << 21)).step_by(0x2_64d) {
+                let pa = PhysAddr(pa);
+                assert_eq!(e.decode_cached(pa, geom, &mut cache), e.decode(pa, geom));
+            }
+        }
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl Default for Scale {
 }
 
 /// A benchmark that can emit its memory-access trace.
-pub trait Workload: std::fmt::Debug {
+pub trait Workload: std::fmt::Debug + Sync {
     /// The benchmark's name as the paper reports it.
     fn name(&self) -> &str;
 

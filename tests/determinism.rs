@@ -1,0 +1,79 @@
+//! Tier-1 guarantee of the parallel execution layer: every parallel
+//! tier produces reports *bit-identical* to the serial reference —
+//! cycles, per-core stats, and the full per-channel memory statistics.
+
+use sdam::{pipeline, Experiment, Parallelism, SystemConfig};
+use sdam_hbm::Geometry;
+use sdam_sys::{Machine, MachineConfig, MappingEngine};
+use sdam_trace::ThreadId;
+use sdam_workloads::datacopy::DataCopy;
+use sdam_workloads::Workload;
+
+fn serial_exp() -> Experiment {
+    Experiment {
+        parallelism: Parallelism::Serial,
+        ..Experiment::quick()
+    }
+}
+
+#[test]
+fn compare_is_identical_serial_and_parallel() {
+    let w = DataCopy::new(vec![1, 32]);
+    let configs = [
+        SystemConfig::BsBsm,
+        SystemConfig::SdmBsm,
+        SystemConfig::SdmBsmMl { clusters: 4 },
+    ];
+    let serial = pipeline::compare(&w, &configs, &serial_exp());
+    let mut exp = serial_exp();
+    exp.parallelism = Parallelism::Threads(4);
+    let parallel = pipeline::compare(&w, &configs, &exp);
+
+    assert_eq!(serial.results.len(), parallel.results.len());
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(s.config, p.config, "lineup order must be preserved");
+        assert_eq!(
+            s.report, p.report,
+            "{}: parallel report diverged from serial",
+            s.config
+        );
+        assert_eq!(s.learning_time.is_some(), p.learning_time.is_some());
+    }
+}
+
+#[test]
+fn corun_is_identical_serial_and_parallel() {
+    let a = DataCopy::with_threads(vec![1], 1);
+    let b = DataCopy::with_threads(vec![32], 1);
+    let workloads: [&dyn Workload; 2] = [&a, &b];
+    let serial = pipeline::run_corun(&workloads, SystemConfig::SdmBsm, &serial_exp());
+    let mut exp = serial_exp();
+    exp.parallelism = Parallelism::Threads(4);
+    let parallel = pipeline::run_corun(&workloads, SystemConfig::SdmBsm, &exp);
+    assert_eq!(serial.report, parallel.report);
+}
+
+#[test]
+fn machine_sharded_run_identical_across_thread_counts() {
+    // Directly at the machine layer: a multi-threaded trace over both a
+    // channel-friendly and a channel-hostile stride, every thread count
+    // against the serial reference.
+    let geom = Geometry::hbm2_8gb();
+    let trace = {
+        let streams = (0..4u16)
+            .map(|t| {
+                sdam_trace::gen::StrideGen::new((t as u64) << 30, 32 * 64, 4_000)
+                    .thread(ThreadId(t))
+                    .into_trace()
+            })
+            .collect();
+        sdam_trace::gen::interleave_round_robin(streams)
+    };
+    let engine = MappingEngine::identity();
+    let mut m = Machine::new(MachineConfig::cpu(), geom);
+    let serial = m.run(&trace, &engine);
+    for threads in [2usize, 3, 8, 32] {
+        let got = m.run_with(&trace, &engine, threads);
+        assert_eq!(serial, got, "{threads} threads diverged");
+    }
+}

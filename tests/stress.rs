@@ -23,7 +23,7 @@ fn randomized_system_stress() {
             // Register a new mapping occasionally.
             0..=4 => {
                 if mappings.len() < 200 {
-                    let stride = 1 << rng.gen_range(0..7);
+                    let stride = 1u64 << rng.gen_range(0..7);
                     let perm = sys.permutation_for_stride(stride);
                     mappings.push(sys.add_mapping(&perm).expect("id space not exhausted"));
                 }
