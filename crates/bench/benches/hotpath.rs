@@ -1,0 +1,146 @@
+//! Before/after microbenchmarks for the three hot-loop rewrites: the
+//! table-driven translation datapath, the bit-sliced BFRV profiler, and
+//! the indexed FR-FCFS drain. Every "new" routine is benched against
+//! the preserved reference oracle it replaced (`apply_reference`,
+//! `from_addrs_scalar`, `drain_reference`), so one run produces the
+//! speedup table recorded in `BENCH_hotpath.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdam_hbm::channel::ChannelSim;
+use sdam_hbm::{DecodedAddr, Geometry, Hbm, Timing};
+use sdam_mapping::{BitFlipRateVector, BitPermutation, Cmt, CmtLookupCache, MappingId, PhysAddr};
+
+/// Deterministic 64-bit mixer (splitmix-style) for address streams.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 27)
+}
+
+fn bench_translate(c: &mut Criterion) {
+    // A 21-bit window (the widest the CMT accepts) exercises all three
+    // byte LUTs of the table-driven path.
+    let n = 21u32;
+    let table: Vec<u32> = (0..n).map(|i| (i + 7) % n).collect();
+    let perm = BitPermutation::new(6, table).unwrap();
+    let addrs: Vec<u64> = (0..1024u64).map(mix).collect();
+
+    let mut g = c.benchmark_group("translate_1k");
+    g.bench_function("lut", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(perm.apply(a));
+            }
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(perm.apply_reference(a));
+            }
+        })
+    });
+    g.finish();
+
+    // The full CMT path (chunk lookup + memo + AMU) on a chunk-local
+    // stream, where the single-entry memo hits almost always.
+    let mut cmt = Cmt::new(33, 22);
+    cmt.register(
+        MappingId(0),
+        &BitPermutation::new(6, (0..16).collect()).unwrap(),
+    );
+    let rot: Vec<u32> = (0..16).map(|i| (i + 5) % 16).collect();
+    cmt.register(MappingId(1), &BitPermutation::new(6, rot).unwrap());
+    for chunk in 0..cmt.num_chunks() {
+        cmt.assign_chunk(chunk, MappingId((chunk % 2) as u8))
+            .unwrap();
+    }
+    let pas: Vec<PhysAddr> = (0..1024u64)
+        .map(|i| PhysAddr(mix(i) & ((1 << 33) - 1)))
+        .collect();
+    c.bench_function("cmt_translate_cached_1k", |b| {
+        b.iter(|| {
+            let mut cache = CmtLookupCache::default();
+            for &pa in &pas {
+                black_box(cmt.translate_cached(pa, &mut cache));
+            }
+        })
+    });
+}
+
+fn bench_bfrv(c: &mut Criterion) {
+    let addrs: Vec<u64> = (0..65_536u64).map(mix).collect();
+    let width = 33;
+    let mut g = c.benchmark_group("bfrv_64k");
+    g.bench_function("bitsliced", |b| {
+        b.iter(|| black_box(BitFlipRateVector::from_addrs(addrs.iter().copied(), width)))
+    });
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            black_box(BitFlipRateVector::from_addrs_scalar(
+                addrs.iter().copied(),
+                width,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    // A mixed stream over 16 banks with enough row locality that the
+    // FR-FCFS window actually reorders: the scan-based reference pays
+    // O(window) per pick, the indexed drain O(1) amortized.
+    let timing = Timing::hbm2();
+    let banks = 16usize;
+    let mut loaded = ChannelSim::new(banks);
+    for i in 0..8_192u64 {
+        let r = mix(i);
+        loaded.push(
+            DecodedAddr {
+                row: (r >> 8) % 64,
+                bank: r % banks as u64,
+                channel: 0,
+                col: (r >> 16) % 4,
+            },
+            0,
+        );
+    }
+    let mut g = c.benchmark_group("drain_8k_w64");
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            let mut ch = loaded.clone();
+            black_box(ch.drain(64, &timing))
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            let mut ch = loaded.clone();
+            black_box(ch.drain_reference(64, &timing))
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Whole-device open loop: decode + bank hash + per-channel drains.
+    let geom = Geometry::hbm2_8gb();
+    let addrs: Vec<DecodedAddr> = (0..32_768u64)
+        .map(|i| geom.decode(sdam_hbm::HardwareAddr(mix(i) & ((1 << 33) - 1))))
+        .collect();
+    c.bench_function("run_open_loop_32k", |b| {
+        b.iter(|| {
+            let mut hbm = Hbm::new(geom, Timing::hbm2());
+            black_box(hbm.run_open_loop(addrs.iter().copied()))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_translate,
+    bench_bfrv,
+    bench_drain,
+    bench_end_to_end
+);
+criterion_main!(benches);

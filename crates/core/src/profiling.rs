@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use sdam_mapping::{select, BitFlipRateVector, BitPermutation, HashMapping};
+use sdam_mapping::{select, BfrvAccumulator, BitFlipRateVector, BitPermutation, HashMapping};
 use sdam_trace::{profile, Trace, VariableId};
 use sdam_workloads::Workload;
 
@@ -145,15 +145,25 @@ pub fn profile_on_baseline(workload: &dyn Workload, exp: &Experiment) -> Profile
     }
     let segregated = materialize(&train, &mut sys2, &var_mapping);
 
+    // Fused single pass: one walk of the segregated trace feeds every
+    // major variable's streaming BFRV accumulator and its PA stream
+    // (needed by the DL path), instead of one full-trace `addrs_of`
+    // scan per variable.
+    let mut accs: BTreeMap<VariableId, (BfrvAccumulator, Vec<u64>)> = major
+        .iter()
+        .map(|&v| (v, (BfrvAccumulator::new(width), Vec::new())))
+        .collect();
+    for a in segregated.iter() {
+        if let Some((acc, stream)) = accs.get_mut(&a.variable) {
+            acc.push(a.addr);
+            stream.push(a.addr);
+        }
+    }
     let mut bfrvs = BTreeMap::new();
     let mut pa_streams = BTreeMap::new();
-    for &v in &major {
-        let addrs: Vec<u64> = segregated.addrs_of(v).collect();
-        bfrvs.insert(
-            v,
-            BitFlipRateVector::from_addrs(addrs.iter().copied(), width),
-        );
-        pa_streams.insert(v, addrs);
+    for (v, (acc, stream)) in accs {
+        bfrvs.insert(v, acc.finish());
+        pa_streams.insert(v, stream);
     }
     ProfileData {
         aggregate,

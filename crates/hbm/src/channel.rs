@@ -13,7 +13,7 @@
 //!   This is what real memory controllers (and the paper's Xilinx HBM
 //!   controller) approximate.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::bank::{BankState, RowOutcome};
 use crate::stats::ChannelStats;
@@ -98,6 +98,15 @@ impl ChannelSim {
             if self.next_refresh == 0 {
                 self.next_refresh = timing.t_refi;
             }
+            // Catch up over an idle gap in one division: every boundary
+            // whose recovery ends by `start` is a no-op iteration of the
+            // stall loop below (it can neither move `start` nor fail the
+            // loop condition), so jump straight past them instead of
+            // spinning O(gap / tREFI) times.
+            if self.next_refresh + timing.t_rfc < start {
+                let skip = (start - timing.t_rfc - self.next_refresh) / timing.t_refi;
+                self.next_refresh += skip * timing.t_refi;
+            }
             while start + timing.t_burst > self.next_refresh {
                 start = start.max(self.next_refresh + timing.t_rfc);
                 self.next_refresh += timing.t_refi;
@@ -127,10 +136,111 @@ impl ChannelSim {
     /// (first-ready, first-come-first-served). `window == 1` degenerates
     /// to in-order service.
     ///
+    /// The pick is O(1) amortized in the queue length: requests are
+    /// indexed per (bank, row) at drain entry, a served request leaves a
+    /// tombstone instead of shifting the queue, and the row-hit
+    /// candidate is the minimum over the banks' open-row queue heads.
+    /// The pick order — and therefore every statistic — is identical to
+    /// the linear-scan [`ChannelSim::drain_reference`], which is kept as
+    /// the golden-equivalence oracle.
+    ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
     pub fn drain(&mut self, window: usize, timing: &Timing) -> Cycle {
+        assert!(window > 0, "reorder window must be >= 1");
+        let mut last = 0;
+        if window == 1 {
+            // Degenerate in-order service: no reordering possible.
+            while let Some((addr, arrival)) = self.pending.pop_front() {
+                last = self.service_in_order(addr, arrival, timing);
+            }
+            return last;
+        }
+        let reqs: Vec<(DecodedAddr, Cycle)> = self.pending.drain(..).collect();
+        let n = reqs.len();
+        // Arrival-ordered request indices per (bank, row): the head of
+        // the queue for a bank's currently open row is that bank's
+        // oldest row hit.
+        let mut by_row: Vec<HashMap<u64, VecDeque<usize>>> = vec![HashMap::new(); self.banks.len()];
+        for (i, (a, _)) in reqs.iter().enumerate() {
+            by_row[a.bank as usize]
+                .entry(a.row)
+                .or_default()
+                .push_back(i);
+        }
+        let mut served = vec![false; n];
+        let mut served_count = 0usize;
+        // Requests admitted to the reorder window so far; the window is
+        // exactly the unserved requests with index < entered (members
+        // only leave by being served, and admission is in arrival
+        // order), so eligibility is a single comparison.
+        let mut entered = 0usize;
+        // Oldest unserved request (tombstones skipped lazily).
+        let mut head = 0usize;
+        // Per-bank cached row-hit candidate: the oldest unserved request
+        // addressed to the bank's currently open row. Serving a request
+        // mutates exactly one bank's row state and consumes a request of
+        // that bank only (refresh stalls the bus but closes no rows), so
+        // a candidate is invalidated — and recomputed — only when its
+        // own bank is served. The per-pick cost is then a plain integer
+        // scan over banks plus one hash lookup for the served bank.
+        let row_candidate = |bank: &BankState,
+                             by_row: &mut HashMap<u64, VecDeque<usize>>,
+                             served: &[bool]|
+         -> Option<usize> {
+            let row = bank.open_row()?;
+            let q = by_row.get_mut(&row)?;
+            while q.front().is_some_and(|&i| served[i]) {
+                q.pop_front();
+            }
+            q.front().copied()
+        };
+        let mut candidates: Vec<Option<usize>> = self
+            .banks
+            .iter()
+            .zip(&mut by_row)
+            .map(|(bank, q)| row_candidate(bank, q, &served))
+            .collect();
+        while served_count < n {
+            while entered - served_count < window && entered < n {
+                entered += 1;
+            }
+            // First-ready: the oldest in-window request whose bank holds
+            // its row open, i.e. the minimum eligible cached candidate.
+            let mut pick: Option<usize> = None;
+            for cand in &candidates {
+                if let Some(i) = *cand {
+                    if i < entered && pick.is_none_or(|p| i < p) {
+                        pick = Some(i);
+                    }
+                }
+            }
+            let pick = pick.unwrap_or_else(|| {
+                while served[head] {
+                    head += 1;
+                }
+                head
+            });
+            served[pick] = true;
+            served_count += 1;
+            let (addr, arrival) = reqs[pick];
+            last = self.service_in_order(addr, arrival, timing);
+            let b = addr.bank as usize;
+            candidates[b] = row_candidate(&self.banks[b], &mut by_row[b], &served);
+        }
+        last
+    }
+
+    /// The original scan-and-remove FR-FCFS drain, kept as the oracle
+    /// the indexed [`ChannelSim::drain`] is golden-equivalence tested
+    /// against. The pick scans the oldest `window` pending requests for
+    /// a row hit and pays an O(n) `VecDeque::remove` per service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn drain_reference(&mut self, window: usize, timing: &Timing) -> Cycle {
         assert!(window > 0, "reorder window must be >= 1");
         let mut last = 0;
         while !self.pending.is_empty() {
@@ -344,5 +454,137 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_panics() {
         let _ = ChannelSim::new(0);
+    }
+
+    /// Deterministic pseudo-random stream without any RNG dependency.
+    fn mixed_stream(n: u64, banks: u64, rows: u64, seed: u64) -> Vec<(DecodedAddr, Cycle)> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(0xd129_0b22);
+                let a = addr((x >> 7) % rows, (x >> 29) % banks, (x >> 41) % 4);
+                // Occasional runs of the same row to manufacture hits.
+                if i % 5 < 2 {
+                    (addr(0, (x >> 29) % banks, 0), 0)
+                } else {
+                    (a, 0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indexed_drain_matches_reference_pick_order() {
+        // Golden equivalence: for random request mixes, every window
+        // size, and refresh on/off, the indexed drain must reproduce the
+        // scan-and-remove reference bit for bit — makespan, stats, and
+        // per-bank counters all follow from an identical pick order.
+        for tm in [Timing::hbm2(), Timing::hbm2_with_refresh()] {
+            for (banks, rows) in [(1u64, 4u64), (4, 16), (16, 64)] {
+                for window in [2usize, 3, 8, 16, 64, 1024] {
+                    for seed in [1u64, 99, 0xfeed] {
+                        let reqs = mixed_stream(600, banks, rows, seed);
+                        let mut fast = ChannelSim::new(banks as usize);
+                        let mut slow = ChannelSim::new(banks as usize);
+                        for &(a, arr) in &reqs {
+                            fast.push(a, arr);
+                            slow.push(a, arr);
+                        }
+                        let end_fast = fast.drain(window, &tm);
+                        let end_slow = slow.drain_reference(window, &tm);
+                        assert_eq!(
+                            end_fast, end_slow,
+                            "makespan diverged: {banks} banks window {window} seed {seed}"
+                        );
+                        assert_eq!(fast.stats(), slow.stats());
+                        assert_eq!(fast.bank_requests(), slow.bank_requests());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_one_drain_matches_reference() {
+        let tm = t();
+        let reqs = mixed_stream(300, 4, 16, 7);
+        let mut fast = ChannelSim::new(4);
+        let mut slow = ChannelSim::new(4);
+        for &(a, arr) in &reqs {
+            fast.push(a, arr);
+            slow.push(a, arr);
+        }
+        assert_eq!(fast.drain(1, &tm), slow.drain_reference(1, &tm));
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn refresh_catch_up_is_constant_time_for_large_gaps() {
+        // Regression: a request arriving after a huge idle gap used to
+        // spin one loop iteration per missed tREFI window — a 2^55-cycle
+        // gap would take ~10^13 iterations (hours). With the division
+        // catch-up it is instant and the completion still lands right
+        // after the arrival.
+        let tm = Timing::hbm2_with_refresh();
+        let mut ch = ChannelSim::new(4);
+        ch.service_in_order(addr(0, 0, 0), 0, &tm);
+        let gap = 1u64 << 55;
+        let done = ch.service_in_order(addr(0, 1, 0), gap, &tm);
+        assert!(done >= gap, "completion precedes arrival");
+        assert!(
+            done < gap + tm.t_refi + tm.t_rfc + 1000,
+            "completion drifted far past the gap: {done} vs {gap}"
+        );
+    }
+
+    #[test]
+    fn refresh_catch_up_matches_iterative_reference() {
+        // Exactness of the division catch-up: emulate the original
+        // one-boundary-at-a-time loop on the test side and compare
+        // completions over arrival gaps that land before, inside, and
+        // after refresh recovery windows.
+        let tm = Timing::hbm2_with_refresh();
+        let reference = |arrivals: &[Cycle]| -> Vec<Cycle> {
+            // The pre-fix channel algebra, inlined: same bank/bus model,
+            // original catch-up loop.
+            let mut bank = crate::bank::BankState::new();
+            let mut bus_free = 0;
+            let mut next_refresh = 0u64;
+            let mut out = Vec::new();
+            for (i, &arr) in arrivals.iter().enumerate() {
+                let (data_ready, _) = bank.access(i as u64 % 3, arr, &tm);
+                let mut start = data_ready.max(bus_free);
+                if next_refresh == 0 {
+                    next_refresh = tm.t_refi;
+                }
+                while start + tm.t_burst > next_refresh {
+                    start = start.max(next_refresh + tm.t_rfc);
+                    next_refresh += tm.t_refi;
+                }
+                let completion = start + tm.t_burst;
+                bus_free = completion;
+                out.push(completion);
+            }
+            out
+        };
+        // Gaps chosen to straddle tREFI boundaries and tRFC recovery.
+        let arrivals: Vec<Cycle> = vec![
+            0,
+            tm.t_refi - tm.t_burst,
+            tm.t_refi + 1,
+            3 * tm.t_refi - 1,
+            3 * tm.t_refi + tm.t_rfc - 1,
+            20 * tm.t_refi + tm.t_rfc / 2,
+            500 * tm.t_refi + 17,
+        ];
+        let mut ch = ChannelSim::new(1);
+        let got: Vec<Cycle> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &arr)| ch.service_in_order(addr(i as u64 % 3, 0, 0), arr, &tm))
+            .collect();
+        assert_eq!(got, reference(&arrivals));
     }
 }

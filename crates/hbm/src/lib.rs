@@ -53,7 +53,7 @@ pub mod stats;
 pub mod timing;
 
 pub use geometry::{DecodedAddr, Geometry, HardwareAddr};
-pub use sim::{bank_hashed, Hbm};
+pub use sim::{bank_hashed, bank_hashed_reference, Hbm};
 pub use stats::{ChannelStats, SimStats};
 pub use timing::Timing;
 

@@ -16,6 +16,31 @@ pub const DEFAULT_REORDER_WINDOW: usize = 16;
 /// same transform.
 pub fn bank_hashed(geometry: Geometry, mut addr: DecodedAddr) -> DecodedAddr {
     let bank_bits = geometry.bank_bits();
+    if bank_bits == 0 {
+        return addr; // one bank per channel: nothing to permute
+    }
+    // Branch-free XOR fold: each doubling round XORs the next group of
+    // `bank_bits`-wide chunks into the low chunk, so after at most six
+    // rounds the low `bank_bits` bits hold the XOR of every chunk —
+    // replacing the data-dependent per-chunk loop
+    // ([`bank_hashed_reference`], kept as the oracle).
+    let mut fold = addr.row;
+    let mut shift = bank_bits;
+    while shift < u64::BITS {
+        fold ^= fold >> shift;
+        shift <<= 1;
+    }
+    addr.bank ^= fold & ((1u64 << bank_bits) - 1);
+    addr
+}
+
+/// The original per-chunk fold loop of [`bank_hashed`], kept as the
+/// oracle the doubling fold is tested against.
+pub fn bank_hashed_reference(geometry: Geometry, mut addr: DecodedAddr) -> DecodedAddr {
+    let bank_bits = geometry.bank_bits();
+    if bank_bits == 0 {
+        return addr;
+    }
     let mask = (1u64 << bank_bits) - 1;
     let mut fold = 0u64;
     let mut row = addr.row;
@@ -380,6 +405,33 @@ mod tests {
                 assert_eq!(
                     expected, got,
                     "stride {stride} x {threads} threads diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_bank_hash_matches_reference_fold() {
+        let geoms = [
+            Geometry::hbm2_8gb(),
+            Geometry::ddr4_8gb(),
+            Geometry::hmc_4gb(),
+        ];
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for geom in geoms {
+            for i in 0..4096u64 {
+                x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+                let a = DecodedAddr {
+                    row: x >> 20,
+                    bank: x % geom.banks_per_channel() as u64,
+                    channel: 0,
+                    col: 0,
+                };
+                assert_eq!(
+                    bank_hashed(geom, a),
+                    bank_hashed_reference(geom, a),
+                    "row {:#x}",
+                    a.row
                 );
             }
         }

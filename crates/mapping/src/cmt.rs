@@ -94,6 +94,10 @@ pub struct Cmt {
     /// [`Cmt::translate_inverse`] never recomputes a permutation
     /// inversion on the lookup path.
     inverse_amus: Vec<Option<Amu>>,
+    /// Configuration epoch: bumped by every [`Cmt::register`] and
+    /// [`Cmt::assign_chunk`], so outstanding [`CmtLookupCache`]s
+    /// self-invalidate instead of serving stale mapping indices.
+    epoch: u64,
 }
 
 /// A one-entry memo of the last chunk→mapping lookup, for the
@@ -104,9 +108,15 @@ pub struct Cmt {
 /// skips the first-level table walk on almost every access. Keep one
 /// cache per simulated core: it memoizes per-stream locality and must
 /// never be shared across streams with different localities.
+///
+/// The memo records the CMT's configuration epoch it was filled under;
+/// any `register`/`assign_chunk` on the table bumps the epoch and the
+/// next lookup discards the stale entry, so a long-lived cache is
+/// always safe to keep across remappings.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CmtLookupCache {
     entry: Option<(u64, u8)>,
+    epoch: u64,
 }
 
 impl Cmt {
@@ -139,6 +149,7 @@ impl Cmt {
             configs,
             amus,
             inverse_amus,
+            epoch: 0,
         }
     }
 
@@ -190,6 +201,7 @@ impl Cmt {
         self.configs[id.index()] = Some(AmuConfig::pack(perm));
         self.inverse_amus[id.index()] = Some(Amu::new(perm.invert()));
         self.amus[id.index()] = Some(Amu::new(perm.clone()));
+        self.epoch += 1;
     }
 
     /// Assigns a chunk to a registered mapping. Models the kernel's
@@ -210,6 +222,7 @@ impl Cmt {
             return Err(CmtError::UnregisteredMapping(id));
         }
         self.chunk_index[chunk as usize] = id.0;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -239,14 +252,18 @@ impl Cmt {
     /// mapping index — the simulator's model of the hardware's
     /// last-chunk latch. Results are identical to [`Cmt::translate`];
     /// only the first-level table indexing is skipped on a memo hit.
+    /// A memo filled before a `register`/`assign_chunk` is discarded
+    /// automatically (epoch check), so stale entries can never leak a
+    /// superseded mapping.
     #[inline]
     pub fn translate_cached(&self, pa: PhysAddr, cache: &mut CmtLookupCache) -> HardwareAddr {
         let chunk = pa.chunk_number(self.chunk_bits);
         let id = match cache.entry {
-            Some((c, id)) if c == chunk => id,
+            Some((c, id)) if c == chunk && cache.epoch == self.epoch => id,
             _ => {
                 let id = self.chunk_index[chunk as usize];
                 cache.entry = Some((chunk, id));
+                cache.epoch = self.epoch;
                 id
             }
         };
@@ -396,13 +413,52 @@ mod tests {
             let pa = PhysAddr(pa);
             assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
         }
-        // Reassignment with a stale cache would be wrong — callers must
-        // use a fresh cache per configuration epoch. Verify a fresh one
-        // observes the new assignment.
+        // Reassignment bumps the configuration epoch, so even the warm
+        // cache observes the new assignment.
         cmt.assign_chunk(0, MappingId(2)).unwrap();
-        let mut fresh = CmtLookupCache::default();
         let pa = PhysAddr(1 << 6);
-        assert_eq!(cmt.translate_cached(pa, &mut fresh), cmt.translate(pa));
+        assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
+    }
+
+    #[test]
+    fn stale_memo_invalidated_on_chunk_remap() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(1), &swap_perm(2, 9, 15));
+        cmt.register(MappingId(2), &swap_perm(0, 14, 15));
+        cmt.assign_chunk(0, MappingId(1)).unwrap();
+        let mut cache = CmtLookupCache::default();
+        let pa = PhysAddr(1 << 6);
+        // Warm the memo on chunk 0 under mapping 1.
+        assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
+        // Remap the chunk: the warm memo must not serve mapping 1.
+        cmt.assign_chunk(0, MappingId(2)).unwrap();
+        assert_eq!(
+            cmt.translate_cached(pa, &mut cache),
+            cmt.translate(pa),
+            "memo survived a chunk remap"
+        );
+        assert_eq!(cmt.translate_cached(pa, &mut cache).raw(), 1 << 20);
+    }
+
+    #[test]
+    fn stale_memo_invalidated_on_reregistration() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(1), &swap_perm(0, 1, 15));
+        cmt.assign_chunk(0, MappingId(1)).unwrap();
+        let mut cache = CmtLookupCache::default();
+        let pa = PhysAddr(1 << 6);
+        assert_eq!(cmt.translate_cached(pa, &mut cache).raw(), 1 << 7);
+        // Replace mapping 1's permutation under the warm memo. The memo
+        // only stores the mapping *index*, which still reads the fresh
+        // AMU — but the epoch check must also refresh the index path so
+        // the behaviour is identical to the uncached translate.
+        cmt.register(MappingId(1), &swap_perm(0, 2, 15));
+        assert_eq!(
+            cmt.translate_cached(pa, &mut cache),
+            cmt.translate(pa),
+            "memo survived a re-registration"
+        );
+        assert_eq!(cmt.translate_cached(pa, &mut cache).raw(), 1 << 8);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod shuffle;
 
 pub use addr::{MappingId, PhysAddr};
 pub use amu::{Amu, AmuConfig};
-pub use bfrv::BitFlipRateVector;
+pub use bfrv::{BfrvAccumulator, BitFlipRateVector};
 pub use cmt::{Cmt, CmtError, CmtLookupCache};
 pub use hash::{optimize_hash, HashMapping};
 pub use mapping::{AddressMapping, IdentityMapping};

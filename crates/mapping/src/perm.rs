@@ -51,6 +51,13 @@ impl std::error::Error for PermError {}
 /// unchanged. This matches the AMU, which permutes only the chunk
 /// offset while the chunk number is copied verbatim.
 ///
+/// Construction precomputes one 256-entry scatter table per input byte
+/// of the window, so [`BitPermutation::apply`] is a handful of table
+/// lookups and ORs (the paper's ≤21-bit AMU window needs three) instead
+/// of a per-bit loop. The per-bit routing is kept as
+/// [`BitPermutation::apply_reference`], the oracle the LUT path is
+/// property-tested against.
+///
 /// # Example
 ///
 /// ```
@@ -62,10 +69,38 @@ impl std::error::Error for PermError {}
 /// assert_eq!(p.invert().apply(p.apply(12345)), 12345);
 /// # Ok::<(), sdam_mapping::PermError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct BitPermutation {
     lo: u32,
     table: Vec<u32>,
+    /// `luts[k][b]` is the OR of destination-window bits driven by the
+    /// window's source byte `k` holding value `b`. Derived from `table`
+    /// at construction; excluded from equality/hashing/Debug.
+    luts: Vec<[u64; 256]>,
+}
+
+impl std::fmt::Debug for BitPermutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitPermutation")
+            .field("lo", &self.lo)
+            .field("table", &self.table)
+            .finish()
+    }
+}
+
+impl PartialEq for BitPermutation {
+    fn eq(&self, other: &Self) -> bool {
+        self.lo == other.lo && self.table == other.table
+    }
+}
+
+impl Eq for BitPermutation {}
+
+impl std::hash::Hash for BitPermutation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.lo.hash(state);
+        self.table.hash(state);
+    }
 }
 
 impl BitPermutation {
@@ -92,7 +127,26 @@ impl BitPermutation {
             }
             seen[src] = true;
         }
-        Ok(BitPermutation { lo, table })
+        Ok(BitPermutation::from_table(lo, table))
+    }
+
+    /// Builds the permutation plus its byte-scatter LUTs from an
+    /// already-validated table.
+    fn from_table(lo: u32, table: Vec<u32>) -> Self {
+        let n = table.len();
+        let mut luts = vec![[0u64; 256]; n.div_ceil(8)];
+        for (dest, &src) in table.iter().enumerate() {
+            let byte = (src / 8) as usize;
+            let bit = src % 8;
+            // Every byte value with source bit `bit` set drives
+            // destination bit `dest`.
+            for (value, entry) in luts[byte].iter_mut().enumerate() {
+                if (value >> bit) & 1 == 1 {
+                    *entry |= 1u64 << dest;
+                }
+            }
+        }
+        BitPermutation { lo, table, luts }
     }
 
     /// The identity permutation over `[lo, lo + len)`.
@@ -102,10 +156,7 @@ impl BitPermutation {
     /// Panics if `len` is zero.
     pub fn identity(lo: u32, len: usize) -> Self {
         assert!(len > 0, "permutation window must be non-empty");
-        BitPermutation {
-            lo,
-            table: (0..len as u32).collect(),
-        }
+        BitPermutation::from_table(lo, (0..len as u32).collect())
     }
 
     /// First bit of the permuted window.
@@ -138,7 +189,25 @@ impl BitPermutation {
     }
 
     /// Applies the permutation to an address.
+    ///
+    /// This is the table-driven fast path: the window is split into
+    /// bytes and each byte's precomputed scatter entry is ORed into the
+    /// output. Bit-identical to [`BitPermutation::apply_reference`].
+    #[inline]
     pub fn apply(&self, addr: u64) -> u64 {
+        let n = self.table.len() as u32;
+        let mask = ((1u64 << n) - 1) << self.lo;
+        let window = (addr & mask) >> self.lo;
+        let mut out = 0u64;
+        for (k, lut) in self.luts.iter().enumerate() {
+            out |= lut[((window >> (8 * k)) & 0xff) as usize];
+        }
+        (addr & !mask) | (out << self.lo)
+    }
+
+    /// The original per-bit routing, kept as the oracle the LUT-based
+    /// [`BitPermutation::apply`] is tested against.
+    pub fn apply_reference(&self, addr: u64) -> u64 {
         let n = self.table.len() as u32;
         let mask = ((1u64 << n) - 1) << self.lo;
         let window = (addr & mask) >> self.lo;
@@ -156,10 +225,7 @@ impl BitPermutation {
         for (dest, &src) in self.table.iter().enumerate() {
             inv[src as usize] = dest as u32;
         }
-        BitPermutation {
-            lo: self.lo,
-            table: inv,
-        }
+        BitPermutation::from_table(self.lo, inv)
     }
 
     /// Composes two permutations over the same window:
@@ -179,7 +245,7 @@ impl BitPermutation {
             .iter()
             .map(|&mid| self.table[mid as usize])
             .collect();
-        BitPermutation { lo: self.lo, table }
+        BitPermutation::from_table(self.lo, table)
     }
 }
 
@@ -239,6 +305,27 @@ mod tests {
         let c = a.compose(&b);
         for x in 0..16u64 {
             assert_eq!(c.apply(x), b.apply(a.apply(x)));
+        }
+    }
+
+    #[test]
+    fn lut_apply_matches_reference() {
+        // Cover sub-byte, multi-byte, and odd-width windows, including
+        // one wider than the AMU's 21-bit maximum.
+        for (lo, table) in [
+            (0u32, vec![2u32, 0, 1]),
+            (6, vec![14, 0, 7, 3, 12, 1, 9, 5, 13, 2, 10, 6, 11, 4, 8]),
+            (6, (0..21u32).rev().collect::<Vec<u32>>()),
+            (3, (0..27u32).map(|i| (i + 13) % 27).collect::<Vec<u32>>()),
+        ] {
+            let p = BitPermutation::new(lo, table).unwrap();
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..4096 {
+                x = x.wrapping_mul(0xd129_0b22_96e8_9f25).wrapping_add(1);
+                assert_eq!(p.apply(x), p.apply_reference(x), "addr {x:#x}");
+            }
+            assert_eq!(p.apply(0), p.apply_reference(0));
+            assert_eq!(p.apply(u64::MAX), p.apply_reference(u64::MAX));
         }
     }
 

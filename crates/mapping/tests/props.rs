@@ -28,6 +28,26 @@ proptest! {
     }
 
     #[test]
+    fn lut_apply_equals_bitwise_reference(p in perm(21), x in any::<u64>()) {
+        // The table-driven datapath must be bit-identical to the
+        // per-bit scatter loop it replaced, on the permutation itself
+        // and on its inverse (the decode path).
+        prop_assert_eq!(p.apply(x), p.apply_reference(x));
+        let inv = p.invert();
+        prop_assert_eq!(inv.apply(x), inv.apply_reference(x));
+    }
+
+    #[test]
+    fn bitsliced_bfrv_equals_scalar(
+        addrs in proptest::collection::vec(any::<u64>(), 0..300),
+        width in 1u32..=64,
+    ) {
+        let fast = sdam_mapping::BitFlipRateVector::from_addrs(addrs.iter().copied(), width);
+        let slow = sdam_mapping::BitFlipRateVector::from_addrs_scalar(addrs.iter().copied(), width);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
     fn descriptor_channel_bits_always_land(channel_sources in proptest::collection::btree_set(6u32..21, 1..5)) {
         let geom = Geometry::hbm2_8gb();
         let sources: Vec<u32> = channel_sources.into_iter().collect();

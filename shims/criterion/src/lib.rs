@@ -16,6 +16,16 @@ pub use std::hint::black_box;
 /// Number of timed samples per benchmark unless overridden.
 const DEFAULT_SAMPLES: usize = 20;
 
+/// Samples per benchmark: `SDAM_BENCH_SAMPLES` if set and positive
+/// (CI smoke runs set it to a tiny value), else [`DEFAULT_SAMPLES`].
+fn default_samples() -> usize {
+    std::env::var("SDAM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SAMPLES)
+}
+
 /// The benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -28,7 +38,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.to_string(), DEFAULT_SAMPLES, f);
+        run_one(&name.to_string(), default_samples(), f);
         self
     }
 
@@ -37,7 +47,7 @@ impl Criterion {
         BenchmarkGroup {
             _parent: self,
             name: name.to_string(),
-            samples: DEFAULT_SAMPLES,
+            samples: default_samples(),
         }
     }
 
@@ -55,8 +65,14 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples for subsequent benchmarks.
+    ///
+    /// An explicit `SDAM_BENCH_SAMPLES` environment override wins, so
+    /// CI smoke runs stay fast even for groups that request large
+    /// sample counts.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        if std::env::var_os("SDAM_BENCH_SAMPLES").is_none() {
+            self.samples = n.max(1);
+        }
         self
     }
 

@@ -54,6 +54,50 @@ fn corun_is_identical_serial_and_parallel() {
 }
 
 #[test]
+fn lut_translate_plus_indexed_drain_identical_serial_and_parallel() {
+    // End-to-end through both new fast paths: physical addresses go
+    // through the table-driven CMT/AMU datapath (per-chunk non-identity
+    // permutations, memoized lookups), then the decoded stream is
+    // drained by the indexed FR-FCFS scheduler with a multi-request
+    // reorder window, serially and on several thread counts.
+    use sdam_hbm::{Hbm, Timing};
+    use sdam_mapping::{BitPermutation, Cmt, CmtLookupCache, MappingId, PhysAddr};
+
+    let geom = Geometry::hbm2_8gb();
+    let mut cmt = Cmt::new(geom.addr_bits(), 22);
+    let n = 16u32;
+    cmt.register(MappingId(0), &BitPermutation::identity(6, n as usize));
+    // Rotate-by-5: a non-trivial permutation whose LUT path must agree
+    // with the bitwise reference for every address below.
+    let rot: Vec<u32> = (0..n).map(|i| (i + 5) % n).collect();
+    cmt.register(MappingId(1), &BitPermutation::new(6, rot).unwrap());
+    for chunk in 0..8 {
+        cmt.assign_chunk(chunk, MappingId((chunk % 2) as u8))
+            .unwrap();
+    }
+
+    let mut cache = CmtLookupCache::default();
+    let addrs: Vec<_> = (0..20_000u64)
+        .map(|i| PhysAddr((i * 17 * 64) & ((1u64 << 25) - 1)))
+        .map(|pa| {
+            let ha = cmt.translate_cached(pa, &mut cache);
+            assert_eq!(ha, cmt.translate(pa), "memoized translate diverged");
+            geom.decode(ha)
+        })
+        .collect();
+
+    for window in [4usize, 16] {
+        let mut hbm = Hbm::new(geom, Timing::hbm2());
+        let serial = hbm.run_open_loop_windowed(addrs.iter().copied(), window);
+        for threads in [2usize, 4, 7] {
+            let mut hbm = Hbm::new(geom, Timing::hbm2());
+            let par = hbm.run_open_loop_windowed_par(addrs.iter().copied(), window, threads);
+            assert_eq!(serial, par, "window {window}, {threads} threads diverged");
+        }
+    }
+}
+
+#[test]
 fn machine_sharded_run_identical_across_thread_counts() {
     // Directly at the machine layer: a multi-threaded trace over both a
     // channel-friendly and a channel-hostile stride, every thread count
