@@ -6,7 +6,7 @@
 //! shuffle. The paper picks 2 MB; this sweep shows why.
 
 use sdam::{pipeline, Experiment, SystemConfig};
-use sdam_bench::{f2, header, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, scale_from_args};
 use sdam_mapping::Cmt;
 use sdam_workloads::datacopy::DataCopy;
 
@@ -23,7 +23,11 @@ fn main() {
         let mut exp = Experiment::quick();
         exp.scale = scale;
         exp.chunk_bits = chunk_bits;
-        let cmp = pipeline::compare(&w, &[SystemConfig::SdmBsmMl { clusters: 4 }], &exp);
+        let cmp = exit_on_err(pipeline::try_compare(
+            &w,
+            &[SystemConfig::SdmBsmMl { clusters: 4 }],
+            &exp,
+        ));
         let speedup = cmp
             .speedup_of(SystemConfig::SdmBsmMl { clusters: 4 })
             .expect("config ran");

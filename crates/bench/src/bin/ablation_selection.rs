@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use sdam::{profiling, Experiment};
-use sdam_bench::{f2, header, row, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, row, scale_from_args};
 use sdam_hbm::Geometry;
 use sdam_mapping::{
     select, AddressMapping, BitFlipRateVector, BitPermutation, BitShuffleMapping, PhysAddr,
@@ -121,7 +121,7 @@ fn main() {
 
     // The motivating case: SSSP's per-variable profiles, as measured by
     // the paper's own two-pass profiling.
-    let data = profiling::profile_on_baseline(&Sssp, &exp);
+    let data = exit_on_err(profiling::try_profile_on_baseline(&Sssp, &exp));
     for v in &data.major {
         let addrs = &data.pa_streams[v];
         if addrs.len() < 1000 {

@@ -7,7 +7,7 @@
 //! parallelism for a bad mapping to waste.
 
 use sdam::{pipeline, Experiment, SystemConfig};
-use sdam_bench::{f2, header, row, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, row, scale_from_args};
 use sdam_hbm::Geometry;
 use sdam_workloads::datacopy::DataCopy;
 
@@ -29,7 +29,11 @@ fn main() {
         let w = DataCopy::new(vec![channels]);
         let mut exp = base.clone();
         exp.geometry = geom;
-        let cmp = pipeline::compare(&w, &[SystemConfig::SdmBsmMl { clusters: 4 }], &exp);
+        let cmp = exit_on_err(pipeline::try_compare(
+            &w,
+            &[SystemConfig::SdmBsmMl { clusters: 4 }],
+            &exp,
+        ));
         row(&[
             channels.to_string(),
             f2(cmp

@@ -9,7 +9,7 @@
 //! mapping-fix experiments on the HMC geometry.
 
 use sdam::{pipeline, Experiment, SystemConfig};
-use sdam_bench::{f2, gbps, header, row, scale_from_args};
+use sdam_bench::{exit_on_err, f2, gbps, header, row, scale_from_args};
 use sdam_hbm::{Geometry, HardwareAddr, Hbm, Timing};
 use sdam_workloads::datacopy::DataCopy;
 
@@ -38,7 +38,11 @@ fn main() {
     exp.geometry = geom;
     exp.scale = scale_from_args();
     let w = DataCopy::new(vec![16]);
-    let cmp = pipeline::compare(&w, &[SystemConfig::BsHm, SystemConfig::SdmBsm], &exp);
+    let cmp = exit_on_err(pipeline::try_compare(
+        &w,
+        &[SystemConfig::BsHm, SystemConfig::SdmBsm],
+        &exp,
+    ));
     for (config, speedup) in cmp.speedups() {
         println!("  {config:<10} {}x", f2(speedup));
     }

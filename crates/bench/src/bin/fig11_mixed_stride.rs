@@ -3,7 +3,7 @@
 //! distribution over 64 strides for BS+BSM, BS+HM, and SDM+BSM.
 
 use sdam::{pipeline, Experiment, SystemConfig};
-use sdam_bench::{f2, header, row, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, row, scale_from_args};
 use sdam_hbm::{Geometry, Hbm, Timing};
 use sdam_mapping::{select, AddressMapping, BitFlipRateVector, HashMapping, PhysAddr};
 use sdam_workloads::datacopy::DataCopy;
@@ -24,13 +24,17 @@ fn part_a() {
     row(&head);
 
     // Normalize to the streaming (stride-1) BS+DM run, the peak.
-    let streaming = pipeline::run(&DataCopy::new(vec![1]), SystemConfig::BsDm, &exp);
+    let streaming = exit_on_err(pipeline::try_run(
+        &DataCopy::new(vec![1]),
+        SystemConfig::BsDm,
+        &exp,
+    ));
     let peak = streaming.report.cycles as f64;
 
     let cases: [&[u64]; 4] = [&[1], &[1, 16], &[1, 8, 16], &[1, 4, 8, 16]];
     for strides in cases {
         let w = DataCopy::new(strides.to_vec());
-        let cmp = pipeline::compare(&w, &configs, &exp);
+        let cmp = exit_on_err(pipeline::try_compare(&w, &configs, &exp));
         let mut cells = vec![strides.len().to_string()];
         for c in configs {
             let cycles = cmp

@@ -6,7 +6,7 @@
 //! barely helps: no single shuffle suits every application.
 
 use sdam::{pipeline, profiling, report, Experiment, SystemConfig};
-use sdam_bench::{f2, header, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, scale_from_args};
 use sdam_mapping::BitFlipRateVector;
 use sdam_workloads::{data_intensive_suite, standard_suite, Workload};
 
@@ -36,7 +36,7 @@ fn run_suite(name: &str, suite: &[Box<dyn Workload>], exp: &Experiment) -> Vec<r
     // that the BS+BSM baseline must use.
     let profiles: Vec<profiling::ProfileData> = suite
         .iter()
-        .map(|w| profiling::profile_on_baseline(w.as_ref(), exp))
+        .map(|w| exit_on_err(profiling::try_profile_on_baseline(w.as_ref(), exp)))
         .collect();
     let mix_aggregate =
         BitFlipRateVector::mean(profiles.iter().map(|p| &p.aggregate).collect::<Vec<_>>());
@@ -60,12 +60,12 @@ fn run_suite(name: &str, suite: &[Box<dyn Workload>], exp: &Experiment) -> Vec<r
             } else {
                 profile.clone()
             };
-            results.push(pipeline::run_with_profile(
+            results.push(exit_on_err(pipeline::try_run_with_profile(
                 w.as_ref(),
                 config,
                 exp,
                 Some(&data),
-            ));
+            )));
         }
         let cmp = report::Comparison {
             workload: w.name().to_string(),

@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use sdam::{pipeline, profiling, Experiment, SystemConfig};
-use sdam_bench::{header, row, scale_from_args};
+use sdam_bench::{exit_on_err, header, row, scale_from_args};
 use sdam_workloads::{standard_suite, Workload};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
     ]);
     let mut totals = [0.0f64; 4];
     for w in &picks {
-        let data = profiling::profile_on_baseline(w.as_ref(), &exp);
+        let data = exit_on_err(profiling::try_profile_on_baseline(w.as_ref(), &exp));
         let configs = [
             SystemConfig::SdmBsmMl { clusters: 4 },
             SystemConfig::SdmBsmMl { clusters: 32 },
@@ -45,7 +45,7 @@ fn main() {
         let mut cells = vec![w.name().to_string()];
         for (i, config) in configs.into_iter().enumerate() {
             let t = Instant::now();
-            let _ = profiling::select_mappings(config, &data, &exp);
+            let _ = exit_on_err(profiling::try_select_mappings(config, &data, &exp));
             let ms = t.elapsed().as_secs_f64() * 1e3;
             totals[i] += ms;
             cells.push(format!("{ms:.3}"));
@@ -66,7 +66,7 @@ fn main() {
     // than the run it optimizes (for ML).
     if let Some(w) = picks.first() {
         let t = Instant::now();
-        let _ = pipeline::run(w.as_ref(), SystemConfig::BsDm, &exp);
+        let _ = exit_on_err(pipeline::try_run(w.as_ref(), SystemConfig::BsDm, &exp));
         println!(
             "one simulated evaluation run of {}: {:.1} ms",
             w.name(),

@@ -3,7 +3,7 @@
 //! and when more cores contend (1 → 4 cores).
 
 use sdam::{pipeline, report, Experiment, SystemConfig};
-use sdam_bench::{f2, header, row, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, row, scale_from_args};
 use sdam_hbm::Timing;
 use sdam_sys::MachineConfig;
 use sdam_workloads::{data_intensive_suite, Workload};
@@ -11,7 +11,7 @@ use sdam_workloads::{data_intensive_suite, Workload};
 fn geomean_for(exp: &Experiment, suite: &[Box<dyn Workload>], config: SystemConfig) -> f64 {
     let comparisons: Vec<report::Comparison> = suite
         .iter()
-        .map(|w| pipeline::compare(w.as_ref(), &[config], exp))
+        .map(|w| exit_on_err(pipeline::try_compare(w.as_ref(), &[config], exp)))
         .collect();
     report::geomean_speedup(&comparisons, config).expect("config ran")
 }

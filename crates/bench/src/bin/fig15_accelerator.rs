@@ -6,8 +6,9 @@
 //! and a much smaller cache — so it gains more from SDAM (paper: 2.58x
 //! for SDM+BSM+DL).
 
+use sdam::stage::StageCache;
 use sdam::{pipeline, report, Experiment, SystemConfig};
-use sdam_bench::{f2, header, scale_from_args};
+use sdam_bench::{exit_on_err, f2, header, scale_from_args};
 use sdam_sys::MachineConfig;
 use sdam_workloads::data_intensive_suite;
 
@@ -37,9 +38,17 @@ fn main() {
     }
     println!();
 
+    // One cache across the whole suite: each benchmark is profiled
+    // once and every configuration reuses it.
+    let cache = StageCache::new();
     let mut comparisons = Vec::new();
     for w in data_intensive_suite() {
-        let cmp = pipeline::compare(w.as_ref(), &configs, &exp);
+        let cmp = exit_on_err(pipeline::try_compare_with_cache(
+            w.as_ref(),
+            &configs,
+            &exp,
+            &cache,
+        ));
         print!("{:<14}", cmp.workload);
         for &c in &configs {
             print!(" {:>15}", f2(cmp.speedup_of(c).expect("config ran")));

@@ -37,6 +37,20 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Unwraps a fallible pipeline result, printing the error and exiting
+/// non-zero. The figure binaries want fail-fast behaviour with a
+/// readable message instead of a panic backtrace, so every
+/// `sdam::pipeline::try_*` call in them routes through here.
+pub fn exit_on_err<T>(r: Result<T, sdam::SdamError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Prints a section header in a consistent style.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

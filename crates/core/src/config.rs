@@ -1,7 +1,7 @@
 //! System configurations (paper §7.3) and experiment parameters.
 
 use sdam_hbm::{Geometry, Timing};
-use sdam_sys::MachineConfig;
+use sdam_sys::{ConfigError, MachineConfig};
 use sdam_workloads::Scale;
 
 /// The six system configurations the paper evaluates.
@@ -55,6 +55,33 @@ impl SystemConfig {
     /// True for configurations that need a profiling run.
     pub fn needs_profiling(&self) -> bool {
         !matches!(self, SystemConfig::BsDm | SystemConfig::BsHm)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clustered configuration has zero clusters.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`SystemConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::System`] naming the violated constraint.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        match self {
+            SystemConfig::SdmBsmMl { clusters: 0 } | SystemConfig::SdmBsmDl { clusters: 0 } => {
+                Err(ConfigError::System {
+                    what: "cluster count must be positive",
+                })
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -157,12 +184,35 @@ impl Experiment {
     /// Panics if the chunk does not fit the physical space or is smaller
     /// than a page.
     pub fn validate(&self) {
-        assert!(
-            self.chunk_bits > 12 && self.chunk_bits < self.geometry.addr_bits(),
-            "chunk must be bigger than a page and smaller than memory"
-        );
-        self.machine.validate();
-        self.training.validate();
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`Experiment::validate`].
+    ///
+    /// Beyond the page/memory sandwich the original asserts checked,
+    /// this also enforces the CMT's crossbar window (at most 21
+    /// chunk-offset bits above the 6-bit line offset) — previously an
+    /// invalid `chunk_bits` passed validation and panicked later inside
+    /// `Cmt::new`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the violated constraint.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        let addr_bits = self.geometry.addr_bits();
+        if self.chunk_bits <= 12 || self.chunk_bits >= addr_bits || self.chunk_bits - 6 > 21 {
+            return Err(ConfigError::ChunkBits {
+                chunk_bits: self.chunk_bits,
+                addr_bits,
+            });
+        }
+        self.machine.try_validate()?;
+        self.training
+            .try_validate()
+            .map_err(|e| ConfigError::Training { what: e.what })?;
+        Ok(())
     }
 }
 

@@ -50,14 +50,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
+pub mod error;
 pub mod par;
 pub mod pipeline;
 pub mod profiling;
 pub mod report;
+pub mod stage;
 pub mod system;
 
 pub use config::{Experiment, Parallelism, SystemConfig};
+pub use error::SdamError;
 pub use report::{Comparison, PhaseTimes, RunResult};
+pub use sdam_sys::ConfigError;
 pub use system::{ProcessId, SdamSystem};

@@ -47,26 +47,38 @@ where
                 if i >= cells.len() {
                     break;
                 }
-                let item = cells[i]
-                    .lock()
-                    .expect("cell lock")
-                    .take()
-                    .expect("claimed once");
+                let Some(item) = lock(&cells[i]).take() else {
+                    panic!("item {i} claimed twice");
+                };
                 let r = f(i, item);
-                *out[i].lock().expect("result lock") = Some(r);
+                *lock(&out[i]) = Some(r);
             }));
         }
         for h in handles {
-            h.join().expect("parallel map worker panicked");
+            if let Err(payload) = h.join() {
+                // Re-raise the worker's panic on the caller's thread.
+                std::panic::resume_unwind(payload);
+            }
         }
     });
     out.into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result lock")
-                .expect("all items processed")
+        .enumerate()
+        .map(|(i, m)| {
+            let slot = m
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let Some(r) = slot else {
+                panic!("item {i} was never processed");
+            };
+            r
         })
         .collect()
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (a poisoned
+/// worker already aborts the map via the join above).
+fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

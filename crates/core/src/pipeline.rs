@@ -1,5 +1,13 @@
 //! The end-to-end evaluation pipeline:
 //! profile → select → allocate → execute → report.
+//!
+//! Each entry point comes in two flavours: a fallible `try_*` function
+//! returning [`SdamError`] (for embedders), and a signature-compatible
+//! panicking wrapper (for the figure binaries, which want fail-fast
+//! behaviour). All of them drive the composable stages of
+//! [`crate::stage`]; the `*_with_cache` variants accept an external
+//! [`StageCache`] so a harness can reuse profiles and selections across
+//! calls.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -10,9 +18,13 @@ use sdam_trace::VariableId;
 use sdam_workloads::Workload;
 
 use crate::config::{Experiment, SystemConfig};
+use crate::error::SdamError;
 use crate::par::par_map_indexed;
 use crate::profiling::{self, ProfileData, Selection};
 use crate::report::{Comparison, PhaseTimes, RunResult};
+use crate::stage::{
+    profile_key, run_stages, selection_key, standard_stages, ProfileHandle, RunContext, StageCache,
+};
 use crate::system::SdamSystem;
 
 /// Runs one workload under one configuration.
@@ -26,103 +38,156 @@ use crate::system::SdamSystem;
 /// Panics if the experiment is invalid or physical memory is exhausted
 /// at the configured scale.
 pub fn run(workload: &dyn Workload, config: SystemConfig, exp: &Experiment) -> RunResult {
-    let data = config
-        .needs_profiling()
-        .then(|| profiling::profile_on_baseline(workload, exp));
-    run_with_profile(workload, config, exp, data.as_ref())
+    match try_run(workload, config, exp) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible twin of [`run`].
+///
+/// # Errors
+///
+/// Any [`SdamError`] the stages surface — an invalid experiment,
+/// exhausted physical memory, an empty profile.
+pub fn try_run(
+    workload: &dyn Workload,
+    config: SystemConfig,
+    exp: &Experiment,
+) -> Result<RunResult, SdamError> {
+    let cache = StageCache::new();
+    try_run_with_cache(workload, config, exp, None, &cache)
 }
 
 /// Like [`run`], but with an externally supplied profile (lets callers
 /// profile once and evaluate many configurations, and lets the BS+BSM
 /// baseline use a workload-mix profile as the paper does).
+///
+/// # Panics
+///
+/// As [`run`].
 pub fn run_with_profile(
     workload: &dyn Workload,
     config: SystemConfig,
     exp: &Experiment,
     data: Option<&ProfileData>,
 ) -> RunResult {
-    exp.validate();
-    let mut phases = PhaseTimes::default();
-    let owned;
-    let data = if config.needs_profiling() && data.is_none() {
-        let t0 = Instant::now();
-        owned = profiling::profile_on_baseline(workload, exp);
-        phases.profile = t0.elapsed();
-        Some(&owned)
-    } else {
-        data
-    };
-
-    let t0 = Instant::now();
-    let (selection, learning_time) = match data {
-        Some(d) if config.needs_profiling() => {
-            let out = profiling::select_mappings(config, d, exp);
-            (out.selection, Some(out.learning_time))
-        }
-        _ => {
-            let out = profiling::select_mappings(config, &empty_profile(exp), exp);
-            (out.selection, None)
-        }
-    };
-    phases.select = t0.elapsed();
-
-    // ---- Allocation phase on the evaluation input.
-    let t0 = Instant::now();
-    let eval = workload.generate(exp.scale);
-    let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
-    let var_mapping: BTreeMap<VariableId, MappingId> = match &selection {
-        Selection::Sdam { perms, assignment } => {
-            let ids: Vec<MappingId> = perms
-                .iter()
-                .map(|p| sys.add_mapping(p).expect("fewer than 256 mappings"))
-                .collect();
-            assignment.iter().map(|(&v, &c)| (v, ids[c])).collect()
-        }
-        _ => BTreeMap::new(),
-    };
-    let pa_trace = profiling::materialize(&eval, &mut sys, &var_mapping);
-    phases.materialize = t0.elapsed();
-
-    // ---- Execution phase.
-    let engine = match selection {
-        Selection::GlobalIdentity => MappingEngine::identity(),
-        Selection::GlobalShuffle(m) => MappingEngine::Global(Box::new(m)),
-        Selection::GlobalHash(m) => MappingEngine::Global(Box::new(m)),
-        Selection::Sdam { .. } => MappingEngine::Chunked(sys.cmt_snapshot()),
-    };
-    let mut machine = Machine::new(exp.machine, exp.geometry).with_timing(exp.timing);
-    let t0 = Instant::now();
-    let report = machine.run_with(&pa_trace, &engine, exp.parallelism.threads());
-    phases.execute = t0.elapsed();
-    RunResult {
-        config,
-        report,
-        learning_time,
-        phases,
+    match try_run_with_profile(workload, config, exp, data) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
     }
 }
 
+/// Fallible twin of [`run_with_profile`].
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_run_with_profile(
+    workload: &dyn Workload,
+    config: SystemConfig,
+    exp: &Experiment,
+    data: Option<&ProfileData>,
+) -> Result<RunResult, SdamError> {
+    let cache = StageCache::new();
+    try_run_with_cache(workload, config, exp, data, &cache)
+}
+
+/// The full staged run with an explicit artifact cache: seeds a
+/// [`RunContext`] (borrowing `data` when supplied), drives the standard
+/// stages, and returns the assembled result.
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_run_with_cache(
+    workload: &dyn Workload,
+    config: SystemConfig,
+    exp: &Experiment,
+    data: Option<&ProfileData>,
+    cache: &StageCache,
+) -> Result<RunResult, SdamError> {
+    exp.try_validate()?;
+    let mut ctx = RunContext::new(workload, config, exp, cache);
+    if let Some(d) = data {
+        ctx.profile = Some(ProfileHandle::Borrowed(d));
+    }
+    run_stages(&mut ctx, &standard_stages())?;
+    let Some(result) = ctx.result.take() else {
+        panic!("ReportStage did not produce a result");
+    };
+    Ok(result)
+}
+
 /// Compares a workload across configurations; the BS+DM baseline is
-/// prepended when absent. Profiling runs once and is shared.
+/// prepended when absent. Profiling runs once and is shared through the
+/// stage cache.
 ///
 /// The per-configuration runs are independent given the shared profile,
 /// so they fan out across `exp.parallelism` worker threads; results come
 /// back in lineup order and are bit-identical to a serial sweep.
+///
+/// # Panics
+///
+/// As [`run`].
 pub fn compare(workload: &dyn Workload, configs: &[SystemConfig], exp: &Experiment) -> Comparison {
+    match try_compare(workload, configs, exp) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible twin of [`compare`].
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_compare(
+    workload: &dyn Workload,
+    configs: &[SystemConfig],
+    exp: &Experiment,
+) -> Result<Comparison, SdamError> {
+    let cache = StageCache::new();
+    try_compare_with_cache(workload, configs, exp, &cache)
+}
+
+/// [`try_compare`] with an external artifact cache, so a harness
+/// sweeping many workloads × configurations (the repro binaries) can
+/// reuse profiles and selections across calls.
+///
+/// The workload's profile is warmed into the cache *before* the
+/// per-configuration fan-out, so exactly one profiling pass runs per
+/// workload no matter how many configurations need it (observable via
+/// [`StageCache::profile_misses`]).
+///
+/// # Errors
+///
+/// As [`try_run`].
+pub fn try_compare_with_cache(
+    workload: &dyn Workload,
+    configs: &[SystemConfig],
+    exp: &Experiment,
+    cache: &StageCache,
+) -> Result<Comparison, SdamError> {
+    exp.try_validate()?;
     let mut lineup = Vec::new();
     if !configs.contains(&SystemConfig::BsDm) {
         lineup.push(SystemConfig::BsDm);
     }
     lineup.extend_from_slice(configs);
-    let needs_profile = lineup.iter().any(|c| c.needs_profiling());
-    let data = needs_profile.then(|| profiling::profile_on_baseline(workload, exp));
-    let results = par_map_indexed(exp.parallelism.threads(), lineup, |_, c| {
-        run_with_profile(workload, c, exp, data.as_ref())
-    });
-    Comparison {
-        workload: workload.name().to_string(),
-        results,
+    if lineup.iter().any(|c| c.needs_profiling()) {
+        cache.profile_or_try(&profile_key(workload, exp), || {
+            profiling::try_profile_on_baseline(workload, exp)
+        })?;
     }
+    let results = par_map_indexed(exp.parallelism.threads(), lineup, |_, c| {
+        try_run_with_cache(workload, c, exp, None, cache)
+    });
+    let results: Result<Vec<RunResult>, SdamError> = results.into_iter().collect();
+    Ok(Comparison {
+        workload: workload.name().to_string(),
+        results: results?,
+    })
 }
 
 /// Runs several workloads *co-resident*: all are materialized into one
@@ -139,8 +204,45 @@ pub fn compare(workload: &dyn Workload, configs: &[SystemConfig], exp: &Experime
 ///
 /// Panics if `workloads` is empty or the experiment is invalid.
 pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experiment) -> RunResult {
-    assert!(!workloads.is_empty(), "need at least one workload");
-    exp.validate();
+    match try_run_corun(workloads, config, exp) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible twin of [`run_corun`].
+///
+/// # Errors
+///
+/// [`SdamError::NoWorkloads`] for an empty workload list, plus anything
+/// [`try_run`] can return.
+pub fn try_run_corun(
+    workloads: &[&dyn Workload],
+    config: SystemConfig,
+    exp: &Experiment,
+) -> Result<RunResult, SdamError> {
+    let cache = StageCache::new();
+    try_run_corun_with_cache(workloads, config, exp, &cache)
+}
+
+/// [`try_run_corun`] with an external artifact cache: per-workload
+/// profiles and the merged-mix selection are keyed and reused, so a
+/// harness sweeping configurations over the same mix profiles each
+/// workload once.
+///
+/// # Errors
+///
+/// As [`try_run_corun`].
+pub fn try_run_corun_with_cache(
+    workloads: &[&dyn Workload],
+    config: SystemConfig,
+    exp: &Experiment,
+    cache: &StageCache,
+) -> Result<RunResult, SdamError> {
+    if workloads.is_empty() {
+        return Err(SdamError::NoWorkloads);
+    }
+    exp.try_validate()?;
 
     let mut phases = PhaseTimes::default();
 
@@ -150,16 +252,19 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
     // profiling runs are independent, so they fan out across the
     // experiment's thread budget (merge order stays the input order).
     let t0 = Instant::now();
-    let profiles: Vec<ProfileData> =
-        par_map_indexed(exp.parallelism.threads(), workloads.to_vec(), |_, w| {
-            profiling::profile_on_baseline(w, exp)
-        });
+    let keys: Vec<String> = workloads.iter().map(|w| profile_key(*w, exp)).collect();
+    let profiles = par_map_indexed(exp.parallelism.threads(), workloads.to_vec(), |i, w| {
+        cache.profile_or_try(&keys[i], || profiling::try_profile_on_baseline(w, exp))
+    });
+    let profiles: Vec<std::sync::Arc<ProfileData>> = profiles
+        .into_iter()
+        .collect::<Result<Vec<_>, SdamError>>()?;
     phases.profile = t0.elapsed();
 
     // Renumber variables: workload i's variable v becomes
     // v + i * 100_000 (traces never have that many variables).
     const STRIDE: u32 = 100_000;
-    let mut merged = empty_profile(exp);
+    let mut merged = profiling::empty_profile(exp);
     let mut agg_members: Vec<&sdam_mapping::BitFlipRateVector> = Vec::new();
     for (i, p) in profiles.iter().enumerate() {
         for &v in &p.major {
@@ -173,7 +278,10 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
     merged.aggregate = sdam_mapping::BitFlipRateVector::mean(agg_members);
 
     let t0 = Instant::now();
-    let out = profiling::select_mappings(config, &merged, exp);
+    let mix_key = selection_key(&format!("corun[{}]", keys.join("+")), config, exp);
+    let out = cache.selection_or_try(&mix_key, || {
+        profiling::try_select_mappings(config, &merged, exp)
+    })?;
     phases.select = t0.elapsed();
 
     // Materialize all workloads into ONE system; each runs in its own
@@ -196,13 +304,13 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
                 .collect()
         });
 
-    let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
+    let mut sys = SdamSystem::try_new(exp.geometry, exp.chunk_bits)?;
     let var_mapping: BTreeMap<VariableId, MappingId> = match &out.selection {
         Selection::Sdam { perms, assignment } => {
-            let ids: Vec<MappingId> = perms
-                .iter()
-                .map(|p| sys.add_mapping(p).expect("fewer than 256 mappings"))
-                .collect();
+            let mut ids = Vec::with_capacity(perms.len());
+            for p in perms {
+                ids.push(sys.try_add_mapping(p)?);
+            }
             assignment.iter().map(|(&v, &c)| (v, ids[c])).collect()
         }
         _ => BTreeMap::new(),
@@ -214,15 +322,20 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
         } else {
             sys.spawn_process()
         };
-        pa_traces.push(profiling::materialize_in(t, &mut sys, pid, &var_mapping));
+        pa_traces.push(profiling::try_materialize_in(
+            t,
+            &mut sys,
+            pid,
+            &var_mapping,
+        )?);
     }
     let combined = sdam_trace::gen::interleave_round_robin(pa_traces);
     phases.materialize = t0.elapsed();
 
-    let engine = match out.selection {
+    let engine = match &out.selection {
         Selection::GlobalIdentity => MappingEngine::identity(),
-        Selection::GlobalShuffle(m) => MappingEngine::Global(Box::new(m)),
-        Selection::GlobalHash(m) => MappingEngine::Global(Box::new(m)),
+        Selection::GlobalShuffle(m) => MappingEngine::Global(Box::new(m.clone())),
+        Selection::GlobalHash(m) => MappingEngine::Global(Box::new(m.clone())),
         Selection::Sdam { .. } => MappingEngine::Chunked(sys.cmt_snapshot()),
     };
     // The machine grows to host all workloads' cores.
@@ -232,24 +345,12 @@ pub fn run_corun(workloads: &[&dyn Workload], config: SystemConfig, exp: &Experi
     let t0 = Instant::now();
     let report = machine.run_with(&combined, &engine, exp.parallelism.threads());
     phases.execute = t0.elapsed();
-    RunResult {
+    Ok(RunResult {
         config,
         report,
         learning_time: Some(out.learning_time),
         phases,
-    }
-}
-
-fn empty_profile(exp: &Experiment) -> ProfileData {
-    ProfileData {
-        aggregate: sdam_mapping::BitFlipRateVector::from_addrs(
-            std::iter::empty(),
-            exp.geometry.addr_bits(),
-        ),
-        major: Vec::new(),
-        bfrvs: BTreeMap::new(),
-        pa_streams: BTreeMap::new(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -325,6 +426,61 @@ mod tests {
     }
 
     #[test]
+    fn compare_profiles_each_workload_exactly_once() {
+        // The acceptance criterion of the staged pipeline: N
+        // configurations share ONE profiling pass through the cache.
+        let w = DataCopy::new(vec![16]);
+        let cache = StageCache::new();
+        let cmp = try_compare_with_cache(
+            &w,
+            &[
+                SystemConfig::BsBsm,
+                SystemConfig::SdmBsm,
+                SystemConfig::SdmBsmMl { clusters: 2 },
+            ],
+            &Experiment::quick(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(cmp.results.len(), 4, "BS+DM prepended");
+        assert_eq!(cache.profile_misses(), 1, "exactly one profiling pass");
+        assert_eq!(
+            cache.profile_hits(),
+            3,
+            "every profiled configuration hit the cache"
+        );
+        // A second sweep on the same cache reuses everything.
+        let cmp2 = try_compare_with_cache(
+            &w,
+            &[SystemConfig::BsBsm, SystemConfig::SdmBsm],
+            &Experiment::quick(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(cache.profile_misses(), 1, "no new profiling pass");
+        // Cache reuse is bit-identical to recomputation.
+        assert_eq!(
+            cmp.speedup_of(SystemConfig::SdmBsm),
+            cmp2.speedup_of(SystemConfig::SdmBsm)
+        );
+    }
+
+    #[test]
+    fn cached_compare_matches_fresh_compare() {
+        // Determinism across the cache boundary: a shared-cache sweep
+        // reports the same cycles as independent fresh runs.
+        let w = DataCopy::new(vec![4, 16]);
+        let exp = Experiment::quick();
+        let fresh = compare(&w, &[SystemConfig::SdmBsm], &exp);
+        let cache = StageCache::new();
+        let cached = try_compare_with_cache(&w, &[SystemConfig::SdmBsm], &exp, &cache).unwrap();
+        for (a, b) in fresh.results.iter().zip(&cached.results) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.report.cycles, b.report.cycles);
+        }
+    }
+
+    #[test]
     fn corun_per_variable_beats_global_mix() {
         // Two co-running copies with different strides: one global
         // mapping must compromise, SDAM serves both — the paper's
@@ -353,6 +509,26 @@ mod tests {
             "per-variable ({s_per_var:.2}) must beat the global mix ({s_global:.2})"
         );
         assert!(s_per_var > 1.05, "co-run should improve: {s_per_var:.2}");
+    }
+
+    #[test]
+    fn corun_reuses_profiles_across_configs() {
+        let streamer = DataCopy::with_threads(vec![1], 1);
+        let strider = DataCopy::with_threads(vec![32], 1);
+        let exp = Experiment::quick();
+        let cache = StageCache::new();
+        let workloads: Vec<&dyn sdam_workloads::Workload> = vec![&streamer, &strider];
+        try_run_corun_with_cache(&workloads, SystemConfig::BsBsm, &exp, &cache).unwrap();
+        assert_eq!(cache.profile_misses(), 2, "one pass per workload");
+        try_run_corun_with_cache(&workloads, SystemConfig::SdmBsm, &exp, &cache).unwrap();
+        assert_eq!(cache.profile_misses(), 2, "second config reuses both");
+        assert_eq!(cache.profile_hits(), 2);
+    }
+
+    #[test]
+    fn empty_corun_is_an_error_not_a_panic() {
+        let err = try_run_corun(&[], SystemConfig::BsDm, &Experiment::quick());
+        assert!(matches!(err, Err(SdamError::NoWorkloads)));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use sdam_trace::{profile, Trace, VariableId};
 use sdam_workloads::Workload;
 
 use crate::config::{Experiment, SystemConfig};
+use crate::error::SdamError;
 use crate::system::SdamSystem;
 
 /// The product of a profiling run.
@@ -76,28 +77,43 @@ pub fn materialize_in(
     pid: crate::ProcessId,
     var_mapping: &BTreeMap<VariableId, sdam_mapping::MappingId>,
 ) -> Trace {
+    match try_materialize_in(trace, sys, pid, var_mapping) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible twin of [`materialize_in`].
+///
+/// # Errors
+///
+/// Propagates allocator errors — most importantly
+/// [`sdam_mem::MemError::OutOfPhysicalMemory`] when the workload's
+/// footprint exceeds the configured geometry.
+pub fn try_materialize_in(
+    trace: &Trace,
+    sys: &mut SdamSystem,
+    pid: crate::ProcessId,
+    var_mapping: &BTreeMap<VariableId, sdam_mapping::MappingId>,
+) -> Result<Trace, sdam_mem::MemError> {
     let spans = variable_spans(trace);
     let mut bases: BTreeMap<VariableId, u64> = BTreeMap::new();
     for (&v, &(_, len)) in &spans {
         let id = var_mapping.get(&v).copied();
-        let va = sys
-            .malloc_in(pid, len, id)
-            .expect("experiment scale fits physical memory");
+        let va = sys.malloc_in(pid, len, id)?;
         bases.insert(v, va.raw());
     }
     let mut out = Trace::with_capacity(trace.len());
     for a in trace.iter() {
         let (lo, _) = spans[&a.variable];
         let va = bases[&a.variable] + (a.addr - lo);
-        let pa = sys
-            .touch_in(pid, sdam_mem::VirtAddr(va))
-            .expect("translated access stays in range");
+        let pa = sys.touch_in(pid, sdam_mem::VirtAddr(va))?;
         out.push(sdam_trace::MemAccess {
             addr: pa.raw(),
             ..*a
         });
     }
-    out
+    Ok(out)
 }
 
 /// Runs the paper's two-pass profiling on the training input.
@@ -116,34 +132,53 @@ pub fn materialize_in(
 /// reproduce at run time — without segregation, demand paging scrambles
 /// every bit above the page offset.
 pub fn profile_on_baseline(workload: &dyn Workload, exp: &Experiment) -> ProfileData {
+    match try_profile_on_baseline(workload, exp) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible twin of [`profile_on_baseline`].
+///
+/// # Errors
+///
+/// [`SdamError::Mem`] when the training input does not fit the
+/// configured geometry; [`SdamError::Cmt`] for an invalid chunk size.
+pub fn try_profile_on_baseline(
+    workload: &dyn Workload,
+    exp: &Experiment,
+) -> Result<ProfileData, SdamError> {
     let train = workload.generate(exp.scale.with_seed(exp.profile_seed));
     let width = exp.geometry.addr_bits();
 
     // Pass 1: baseline materialization — aggregate profile + majors.
-    let mut sys = SdamSystem::new(exp.geometry, exp.chunk_bits);
-    let pa_trace = materialize(&train, &mut sys, &BTreeMap::new());
+    let mut sys = SdamSystem::try_new(exp.geometry, exp.chunk_bits)?;
+    let pa_trace = try_materialize_in(&train, &mut sys, crate::ProcessId(0), &BTreeMap::new())?;
     let aggregate = BitFlipRateVector::from_addrs(pa_trace.addrs(), width);
     let major = profile::major_variables(&pa_trace, 0.8);
 
     // Pass 2: segregated materialization — per-variable profiles.
-    let mut sys2 = SdamSystem::new(exp.geometry, exp.chunk_bits);
+    let mut sys2 = SdamSystem::try_new(exp.geometry, exp.chunk_bits)?;
     let identity = BitPermutation::identity(6, (exp.chunk_bits - 6) as usize);
     let mut var_mapping = BTreeMap::new();
     for &v in &major {
         // When an application has more major variables than mapping ids
         // (never the case in the paper's Table 1), the overflow shares
         // the last id.
-        match sys2.add_mapping(&identity) {
+        match sys2.try_add_mapping(&identity) {
             Ok(id) => {
                 var_mapping.insert(v, id);
             }
-            Err(_) => {
-                let last = *var_mapping.values().last().expect("at least one id");
+            Err(SdamError::Mem(sdam_mem::MemError::MappingIdsExhausted)) => {
+                let Some(&last) = var_mapping.values().last() else {
+                    return Err(sdam_mem::MemError::MappingIdsExhausted.into());
+                };
                 var_mapping.insert(v, last);
             }
+            Err(e) => return Err(e),
         }
     }
-    let segregated = materialize(&train, &mut sys2, &var_mapping);
+    let segregated = try_materialize_in(&train, &mut sys2, crate::ProcessId(0), &var_mapping)?;
 
     // Fused single pass: one walk of the segregated trace feeds every
     // major variable's streaming BFRV accumulator and its PA stream
@@ -165,16 +200,27 @@ pub fn profile_on_baseline(workload: &dyn Workload, exp: &Experiment) -> Profile
         bfrvs.insert(v, acc.finish());
         pa_streams.insert(v, stream);
     }
-    ProfileData {
+    Ok(ProfileData {
         aggregate,
         major,
         bfrvs,
         pa_streams,
+    })
+}
+
+/// A profile with no samples and no major variables — what
+/// configurations that skip profiling select their mappings from.
+pub fn empty_profile(exp: &Experiment) -> ProfileData {
+    ProfileData {
+        aggregate: BitFlipRateVector::from_addrs(std::iter::empty(), exp.geometry.addr_bits()),
+        major: Vec::new(),
+        bfrvs: BTreeMap::new(),
+        pa_streams: BTreeMap::new(),
     }
 }
 
 /// The mapping plan a configuration produces.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Selection {
     /// The boot-time default (identity) mapping for everything.
     GlobalIdentity,
@@ -194,7 +240,7 @@ pub enum Selection {
 
 /// Result of selection, with the profiling/learning cost (the paper's
 /// Fig. 13 metric).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SelectionOutcome {
     /// The plan.
     pub selection: Selection,
@@ -213,6 +259,25 @@ pub fn select_mappings(
     data: &ProfileData,
     exp: &Experiment,
 ) -> SelectionOutcome {
+    match try_select_mappings(config, data, exp) {
+        Ok(out) => out,
+        // Keep the historical wording: tooling greps for it.
+        Err(SdamError::EmptyProfile) => panic!("profiling found no major variables"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible twin of [`select_mappings`].
+///
+/// # Errors
+///
+/// [`SdamError::EmptyProfile`] when a profiling-dependent configuration
+/// is given a profile with no major variables.
+pub fn try_select_mappings(
+    config: SystemConfig,
+    data: &ProfileData,
+    exp: &Experiment,
+) -> Result<SelectionOutcome, SdamError> {
     let window_hi = exp.chunk_bits;
     let windowed = |bfrv: &BitFlipRateVector| {
         select::permutation_for_bfrv_windowed(bfrv, exp.geometry, window_hi)
@@ -230,7 +295,9 @@ pub fn select_mappings(
             // included), SDAM's profiler has call-stack attribution, so
             // the per-app profile is the mean of the *attributed*
             // per-variable BFRVs.
-            assert!(!data.major.is_empty(), "profiling found no major variables");
+            if data.major.is_empty() {
+                return Err(SdamError::EmptyProfile);
+            }
             let mean = BitFlipRateVector::mean(
                 data.major
                     .iter()
@@ -245,7 +312,9 @@ pub fn select_mappings(
             }
         }
         SystemConfig::SdmBsmMl { clusters } => {
-            assert!(!data.major.is_empty(), "profiling found no major variables");
+            if data.major.is_empty() {
+                return Err(SdamError::EmptyProfile);
+            }
             let points: Vec<Vec<f64>> = data
                 .major
                 .iter()
@@ -262,7 +331,9 @@ pub fn select_mappings(
             cluster_selection(data, &clustering.assignments, exp)
         }
         SystemConfig::SdmBsmDl { clusters } => {
-            assert!(!data.major.is_empty(), "profiling found no major variables");
+            if data.major.is_empty() {
+                return Err(SdamError::EmptyProfile);
+            }
             let traces: Vec<Vec<u64>> = data
                 .major
                 .iter()
@@ -277,10 +348,10 @@ pub fn select_mappings(
             cluster_selection(data, &dl.assignments, exp)
         }
     };
-    SelectionOutcome {
+    Ok(SelectionOutcome {
         selection,
         learning_time: start.elapsed(),
-    }
+    })
 }
 
 /// Builds the SDAM plan from per-major-variable cluster assignments:

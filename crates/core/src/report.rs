@@ -62,26 +62,38 @@ impl Comparison {
     /// Panics if the comparison does not include `BS+DM` (the pipeline
     /// always adds it).
     pub fn baseline_cycles(&self) -> u64 {
+        let Some(cycles) = self.try_baseline_cycles() else {
+            panic!("comparison always contains the BS+DM baseline");
+        };
+        cycles
+    }
+
+    /// The baseline (BS+DM) cycle count, `None` for a hand-built
+    /// comparison that lacks the baseline.
+    pub fn try_baseline_cycles(&self) -> Option<u64> {
         self.results
             .iter()
             .find(|r| r.config == SystemConfig::BsDm)
-            .expect("comparison always contains the BS+DM baseline")
-            .report
-            .cycles
+            .map(|r| r.report.cycles)
     }
 
-    /// Speedup of a configuration over the BS+DM baseline.
+    /// Speedup of a configuration over the BS+DM baseline
+    /// (zero-cycle degenerate runs guarded as in
+    /// [`sdam_sys::safe_speedup`]).
     pub fn speedup_of(&self, config: SystemConfig) -> Option<f64> {
         let r = self.results.iter().find(|r| r.config == config)?;
-        Some(self.baseline_cycles() as f64 / r.report.cycles as f64)
+        Some(sdam_sys::safe_speedup(
+            self.try_baseline_cycles()?,
+            r.report.cycles,
+        ))
     }
 
     /// `(config, speedup)` rows, in run order.
     pub fn speedups(&self) -> Vec<(SystemConfig, f64)> {
-        let base = self.baseline_cycles() as f64;
+        let base = self.baseline_cycles();
         self.results
             .iter()
-            .map(|r| (r.config, base / r.report.cycles as f64))
+            .map(|r| (r.config, sdam_sys::safe_speedup(base, r.report.cycles)))
             .collect()
     }
 }
@@ -184,6 +196,21 @@ mod tests {
         assert_eq!(c.speedup_of(SystemConfig::BsHm), Some(0.5));
         assert_eq!(c.speedup_of(SystemConfig::BsBsm), None);
         assert_eq!(c.speedups()[0].1, 1.0);
+    }
+
+    #[test]
+    fn degenerate_cycle_counts_never_divide_by_zero() {
+        let c = cmp(&[(SystemConfig::BsDm, 0), (SystemConfig::SdmBsm, 0)]);
+        assert_eq!(c.speedup_of(SystemConfig::SdmBsm), Some(1.0));
+        let c = cmp(&[(SystemConfig::BsDm, 100), (SystemConfig::SdmBsm, 0)]);
+        let s = c.speedup_of(SystemConfig::SdmBsm).unwrap();
+        assert_eq!(s, 0.0);
+        assert!(s.is_finite());
+        // No baseline: an Option, not a panic, from the Option-returning
+        // accessors.
+        let c = cmp(&[(SystemConfig::SdmBsm, 100)]);
+        assert_eq!(c.try_baseline_cycles(), None);
+        assert_eq!(c.speedup_of(SystemConfig::SdmBsm), None);
     }
 
     #[test]

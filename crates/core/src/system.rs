@@ -15,6 +15,8 @@ use sdam_mem::phys::{ChunkAllocator, ChunkEvent};
 use sdam_mem::vma::AddressSpace;
 use sdam_mem::{MemError, VirtAddr};
 
+use crate::error::SdamError;
+
 /// The software-defined-address-mapping system.
 ///
 /// # Example
@@ -75,18 +77,40 @@ impl SdamSystem {
     /// Panics if the chunk size does not fit between a page and the
     /// device capacity.
     pub fn new(geometry: Geometry, chunk_bits: u32) -> Self {
+        match SdamSystem::try_new(geometry, chunk_bits) {
+            Ok(sys) => sys,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`SdamSystem::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SdamError::Cmt`] if the chunk size does not fit between a page
+    /// and the device capacity (or exceeds the CMT's crossbar window).
+    pub fn try_new(geometry: Geometry, chunk_bits: u32) -> Result<Self, SdamError> {
         let page_bits = 12;
-        SdamSystem {
+        // The CMT's window check subsumes the allocator's (page < chunk
+        // < memory), so validate through it before any construction.
+        let cmt = Cmt::try_new(geometry.addr_bits(), chunk_bits)?;
+        if chunk_bits <= page_bits {
+            return Err(SdamError::Cmt(sdam_mapping::CmtError::InvalidChunkBits {
+                chunk_bits,
+                phys_bits: geometry.addr_bits(),
+            }));
+        }
+        Ok(SdamSystem {
             geometry,
             phys: ChunkAllocator::new(geometry.addr_bits(), chunk_bits, page_bits),
             processes: vec![Process {
                 aspace: AddressSpace::new(page_bits),
                 malloc: MultiHeapMalloc::new(page_bits),
             }],
-            cmt: Cmt::new(geometry.addr_bits(), chunk_bits),
+            cmt,
             page_bits,
             registered: vec![MappingId::DEFAULT],
-        }
+        })
     }
 
     /// Spawns a new process: a fresh address space and heap allocator
@@ -153,13 +177,38 @@ impl SdamSystem {
     /// Panics if the permutation window is not this system's chunk
     /// offset (`[6, chunk_bits)`).
     pub fn add_mapping(&mut self, perm: &BitPermutation) -> Result<MappingId, MemError> {
+        match self.try_add_mapping(perm) {
+            Ok(id) => Ok(id),
+            Err(SdamError::Mem(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`SdamSystem::add_mapping`] — a wrong
+    /// permutation window comes back as [`SdamError::Cmt`] instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SdamError::Mem`] ([`MemError::MappingIdsExhausted`]) after 255
+    /// registrations; [`SdamError::Cmt`] for a permutation that does not
+    /// cover this system's chunk offset.
+    pub fn try_add_mapping(&mut self, perm: &BitPermutation) -> Result<MappingId, SdamError> {
+        // Check the window before consuming a global id.
+        if perm.lo() != 6 || perm.len() as u32 != self.cmt.chunk_bits() - 6 {
+            return Err(SdamError::Cmt(sdam_mapping::CmtError::WrongWindow {
+                lo: perm.lo(),
+                len: perm.len() as u32,
+                chunk_bits: self.cmt.chunk_bits(),
+            }));
+        }
         // Ids are global: the CMT is shared by every process.
         let id = self.processes[0].malloc.add_addr_map()?;
         for p in &mut self.processes[1..] {
             p.malloc.register_external(id);
         }
         self.registered.push(id);
-        self.cmt.register(id, perm);
+        self.cmt.try_register(id, perm)?;
         Ok(id)
     }
 
@@ -173,22 +222,26 @@ impl SdamSystem {
         self.malloc_in(ProcessId(0), size, mapping)
     }
 
+    /// Looks up a process, rejecting pids this system never handed out.
+    fn process_mut(&mut self, pid: ProcessId) -> Result<&mut Process, MemError> {
+        self.processes
+            .get_mut(pid.0 as usize)
+            .ok_or(MemError::UnknownProcess { pid: pid.0 })
+    }
+
     /// [`SdamSystem::malloc`] in a specific process.
     ///
     /// # Errors
     ///
-    /// As [`SdamSystem::malloc`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pid` was not returned by this system.
+    /// As [`SdamSystem::malloc`], plus [`MemError::UnknownProcess`] for
+    /// a pid this system never returned.
     pub fn malloc_in(
         &mut self,
         pid: ProcessId,
         size: u64,
         mapping: Option<MappingId>,
     ) -> Result<VirtAddr, MemError> {
-        let p = &mut self.processes[pid.0 as usize];
+        let p = self.process_mut(pid)?;
         let va = p.malloc.malloc(size, mapping)?;
         for region in p.malloc.drain_new_heaps() {
             p.aspace
@@ -245,7 +298,8 @@ impl SdamSystem {
         va: VirtAddr,
         new_mapping: MappingId,
     ) -> Result<(VirtAddr, u64), MemError> {
-        let size = self.processes[pid.0 as usize]
+        let size = self
+            .process_mut(pid)?
             .malloc
             .size_of(va)
             .ok_or(MemError::BadAddress(va))?;
@@ -256,7 +310,8 @@ impl SdamSystem {
         let mut moved = 0u64;
         let mut off = 0u64;
         while off < size {
-            let src_resident = self.processes[pid.0 as usize]
+            let src_resident = self
+                .process_mut(pid)?
                 .aspace
                 .translate(VirtAddr(va.raw() + off))
                 .is_some();
@@ -266,7 +321,7 @@ impl SdamSystem {
             }
             off += page;
         }
-        self.processes[pid.0 as usize].malloc.free(va)?;
+        self.process_mut(pid)?.malloc.free(va)?;
         Ok((new_va, moved))
     }
 
@@ -307,25 +362,27 @@ impl SdamSystem {
     ///
     /// # Errors
     ///
-    /// As [`SdamSystem::touch`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pid` was not returned by this system.
+    /// As [`SdamSystem::touch`], plus [`MemError::UnknownProcess`] for
+    /// a pid this system never returned.
     pub fn touch_in(&mut self, pid: ProcessId, va: VirtAddr) -> Result<PhysAddr, MemError> {
-        let p = &mut self.processes[pid.0 as usize];
+        let Some(p) = self.processes.get_mut(pid.0 as usize) else {
+            return Err(MemError::UnknownProcess { pid: pid.0 });
+        };
         let pa = p.aspace.access(va, &mut self.phys)?;
         for ev in p.aspace.drain_events() {
+            // The allocator only hands out registered mappings, so the
+            // CMT writes cannot fail; surface a failure as the mapping
+            // being unknown rather than panicking.
             match ev {
                 ChunkEvent::Acquired { chunk, mapping } => self
                     .cmt
                     .assign_chunk(chunk, mapping)
-                    .expect("allocator only hands out registered mappings"),
+                    .map_err(|_| MemError::UnknownMapping(mapping))?,
                 ChunkEvent::Released { chunk } => {
                     // Back to the default mapping; the chunk is free.
                     self.cmt
                         .assign_chunk(chunk, MappingId::DEFAULT)
-                        .expect("default mapping always registered");
+                        .map_err(|_| MemError::UnknownMapping(MappingId::DEFAULT))?;
                 }
             }
         }

@@ -274,8 +274,7 @@ impl BitFlipRateVector {
         let mut bits: Vec<u32> = (lo..self.width()).collect();
         bits.sort_by(|&a, &b| {
             self.rates[b as usize]
-                .partial_cmp(&self.rates[a as usize])
-                .expect("rates are finite")
+                .total_cmp(&self.rates[a as usize])
                 .then(a.cmp(&b))
         });
         bits
@@ -307,7 +306,9 @@ impl BitFlipRateVector {
         I: IntoIterator<Item = &'a BitFlipRateVector>,
     {
         let mut it = vs.into_iter();
-        let first = it.next().expect("mean of empty set");
+        let Some(first) = it.next() else {
+            panic!("mean of empty set");
+        };
         let mut acc: Vec<f64> = first.rates.clone();
         let mut n = 1usize;
         for v in it {

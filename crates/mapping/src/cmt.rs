@@ -35,6 +35,25 @@ pub enum CmtError {
     },
     /// The mapping id has no registered crossbar configuration.
     UnregisteredMapping(MappingId),
+    /// The chunk size does not subdivide the physical space, or its
+    /// offset window (above the 6 line-offset bits) is empty or exceeds
+    /// the AMU's 21-bit crossbar.
+    InvalidChunkBits {
+        /// Offending chunk size in address bits.
+        chunk_bits: u32,
+        /// The physical address width the table must cover.
+        phys_bits: u32,
+    },
+    /// A registered permutation does not cover exactly the chunk-offset
+    /// window `[6, chunk_bits)`.
+    WrongWindow {
+        /// The permutation's low bit.
+        lo: u32,
+        /// The permutation's width in bits.
+        len: u32,
+        /// The table's chunk size in address bits.
+        chunk_bits: u32,
+    },
 }
 
 impl std::fmt::Display for CmtError {
@@ -49,6 +68,24 @@ impl std::fmt::Display for CmtError {
             CmtError::UnregisteredMapping(id) => {
                 write!(f, "mapping {id} has no registered AMU configuration")
             }
+            CmtError::InvalidChunkBits {
+                chunk_bits,
+                phys_bits,
+            } => write!(
+                f,
+                "invalid chunk_bits {chunk_bits} for a {phys_bits}-bit physical space \
+                 (need 6 < chunk_bits < phys_bits and chunk_bits - 6 <= 21)"
+            ),
+            CmtError::WrongWindow {
+                lo,
+                len,
+                chunk_bits,
+            } => write!(
+                f,
+                "permutation window [{lo}, {}) must cover exactly the chunk offset \
+                 [6, {chunk_bits})",
+                lo + len
+            ),
         }
     }
 }
@@ -98,6 +135,12 @@ pub struct Cmt {
     /// [`Cmt::assign_chunk`], so outstanding [`CmtLookupCache`]s
     /// self-invalidate instead of serving stale mapping indices.
     epoch: u64,
+    /// Identity AMU served if a chunk ever points at an unregistered
+    /// slot. [`Cmt::assign_chunk`] makes that unreachable, but the
+    /// translate hot path must stay infallible without a panic site
+    /// (identity is its own inverse, so one fallback serves both
+    /// directions).
+    fallback_amu: Amu,
 }
 
 /// A one-entry memo of the last chunk→mapping lookup, for the
@@ -129,11 +172,25 @@ impl Cmt {
     /// Panics if `chunk_bits >= phys_bits` or the chunk offset window
     /// (above the 6 line-offset bits) is empty or exceeds 21 bits.
     pub fn new(phys_bits: u32, chunk_bits: u32) -> Self {
-        assert!(chunk_bits < phys_bits, "chunks must subdivide the space");
-        assert!(
-            chunk_bits > 6 && chunk_bits - 6 <= 21,
-            "chunk offset window must be 1..=21 bits above the line offset"
-        );
+        match Cmt::try_new(phys_bits, chunk_bits) {
+            Ok(cmt) => cmt,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Cmt::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CmtError::InvalidChunkBits`] if `chunk_bits` does not subdivide
+    /// the space or its offset window is empty or exceeds 21 bits.
+    pub fn try_new(phys_bits: u32, chunk_bits: u32) -> Result<Self, CmtError> {
+        if chunk_bits >= phys_bits || chunk_bits <= 6 || chunk_bits - 6 > 21 {
+            return Err(CmtError::InvalidChunkBits {
+                chunk_bits,
+                phys_bits,
+            });
+        }
         let chunks = 1usize << (phys_bits - chunk_bits);
         let mut configs = vec![None; MAX_MAPPINGS];
         let mut amus = vec![None; MAX_MAPPINGS];
@@ -141,8 +198,9 @@ impl Cmt {
         let identity = BitPermutation::identity(6, (chunk_bits - 6) as usize);
         configs[0] = Some(AmuConfig::pack(&identity));
         inverse_amus[0] = Some(Amu::new(identity.invert()));
+        let fallback_amu = Amu::new(identity.clone());
         amus[0] = Some(Amu::new(identity));
-        Cmt {
+        Ok(Cmt {
             phys_bits,
             chunk_bits,
             chunk_index: vec![0; chunks],
@@ -150,7 +208,8 @@ impl Cmt {
             amus,
             inverse_amus,
             epoch: 0,
-        }
+            fallback_amu,
+        })
     }
 
     /// A CMT sized exactly as the paper's headline configuration:
@@ -192,16 +251,30 @@ impl Cmt {
     /// Panics if the permutation window is not the chunk-offset window
     /// `[6, chunk_bits)`.
     pub fn register(&mut self, id: MappingId, perm: &BitPermutation) {
-        assert_eq!(perm.lo(), 6, "AMU permutes bits above the line offset");
-        assert_eq!(
-            perm.len() as u32,
-            self.chunk_bits - 6,
-            "permutation must cover exactly the chunk offset"
-        );
+        if let Err(e) = self.try_register(id, perm) {
+            panic!("permutation must cover exactly the chunk offset: {e}");
+        }
+    }
+
+    /// Fallible twin of [`Cmt::register`].
+    ///
+    /// # Errors
+    ///
+    /// [`CmtError::WrongWindow`] if the permutation does not cover
+    /// exactly the chunk-offset window `[6, chunk_bits)`.
+    pub fn try_register(&mut self, id: MappingId, perm: &BitPermutation) -> Result<(), CmtError> {
+        if perm.lo() != 6 || perm.len() as u32 != self.chunk_bits - 6 {
+            return Err(CmtError::WrongWindow {
+                lo: perm.lo(),
+                len: perm.len() as u32,
+                chunk_bits: self.chunk_bits,
+            });
+        }
         self.configs[id.index()] = Some(AmuConfig::pack(perm));
         self.inverse_amus[id.index()] = Some(Amu::new(perm.invert()));
         self.amus[id.index()] = Some(Amu::new(perm.clone()));
         self.epoch += 1;
+        Ok(())
     }
 
     /// Assigns a chunk to a registered mapping. Models the kernel's
@@ -244,7 +317,7 @@ impl Cmt {
     pub fn translate(&self, pa: PhysAddr) -> HardwareAddr {
         let chunk = pa.chunk_number(self.chunk_bits);
         let id = self.chunk_index[chunk as usize] as usize;
-        let amu = self.amus[id].as_ref().expect("assigned ids are registered");
+        let amu = self.amus[id].as_ref().unwrap_or(&self.fallback_amu);
         HardwareAddr(amu.apply(pa.0))
     }
 
@@ -269,7 +342,7 @@ impl Cmt {
         };
         let amu = self.amus[id as usize]
             .as_ref()
-            .expect("assigned ids are registered");
+            .unwrap_or(&self.fallback_amu);
         HardwareAddr(amu.apply(pa.0))
     }
 
@@ -282,24 +355,26 @@ impl Cmt {
     pub fn translate_inverse(&self, ha: HardwareAddr) -> PhysAddr {
         let chunk = ha.raw() >> self.chunk_bits;
         let id = self.chunk_index[chunk as usize] as usize;
-        let amu = self.inverse_amus[id]
-            .as_ref()
-            .expect("assigned ids are registered");
+        let amu = self.inverse_amus[id].as_ref().unwrap_or(&self.fallback_amu);
         PhysAddr(amu.apply(ha.raw()))
     }
 
     /// Storage of the two-level organization in bits:
     /// `chunks × 8 + 256 × config_bits`.
     pub fn storage_bits_two_level(&self) -> u64 {
-        let config_bits = self.configs[0].expect("identity registered").storage_bits() as u64;
-        self.num_chunks() * 8 + MAX_MAPPINGS as u64 * config_bits
+        self.num_chunks() * 8 + MAX_MAPPINGS as u64 * self.config_bits()
+    }
+
+    /// Packed crossbar-configuration width in bits (the identity slot is
+    /// registered at construction, so the table always has one).
+    fn config_bits(&self) -> u64 {
+        self.configs[0].map_or(0, |c| c.storage_bits() as u64)
     }
 
     /// Storage of the equivalent flat organization in bits:
     /// `chunks × config_bits`.
     pub fn storage_bits_flat(&self) -> u64 {
-        let config_bits = self.configs[0].expect("identity registered").storage_bits() as u64;
-        self.num_chunks() * config_bits
+        self.num_chunks() * self.config_bits()
     }
 
     /// Number of distinct mapping ids currently registered.
@@ -484,6 +559,41 @@ mod tests {
             1 << 8,
             "second registration wins"
         );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_chunk_bits() {
+        for (phys, chunk) in [(33, 33), (33, 40), (33, 6), (33, 30), (14, 14)] {
+            let err = Cmt::try_new(phys, chunk).unwrap_err();
+            assert_eq!(
+                err,
+                CmtError::InvalidChunkBits {
+                    chunk_bits: chunk,
+                    phys_bits: phys
+                }
+            );
+            assert!(err.to_string().contains("chunk_bits"));
+        }
+        assert!(Cmt::try_new(33, 21).is_ok());
+    }
+
+    #[test]
+    fn try_register_rejects_wrong_window() {
+        let mut cmt = Cmt::try_new(33, 21).unwrap();
+        let err = cmt
+            .try_register(MappingId(1), &BitPermutation::identity(6, 8))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CmtError::WrongWindow {
+                lo: 6,
+                len: 8,
+                chunk_bits: 21
+            }
+        );
+        assert!(cmt
+            .try_register(MappingId(1), &BitPermutation::identity(6, 15))
+            .is_ok());
     }
 
     #[test]

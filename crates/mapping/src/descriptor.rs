@@ -214,10 +214,18 @@ impl MappingDescriptor {
         let mut free_sources = (0..n as u32).filter(|&s| !used[s as usize]);
         for d in 0..n {
             if !taken_dest[d] {
-                table[d] = free_sources.next().expect("counts match");
+                if let Some(s) = free_sources.next() {
+                    table[d] = s;
+                }
             }
         }
-        Ok(BitPermutation::new(lo, table).expect("construction is a valid permutation"))
+        // Any imbalance above would leave a `u32::MAX` hole that the
+        // permutation constructor rejects — an internal bug, not an
+        // input error, so it stays a panic rather than a variant.
+        match BitPermutation::new(lo, table) {
+            Ok(p) => Ok(p),
+            Err(e) => panic!("compiled table is not a permutation: {e}"),
+        }
     }
 }
 

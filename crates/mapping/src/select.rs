@@ -104,7 +104,10 @@ pub fn permutation_for_bfrv_windowed(
     for (dest, src) in dests.into_iter().zip(sources) {
         table[(dest - lo) as usize] = src - lo;
     }
-    BitPermutation::new(lo, table).expect("construction yields a valid permutation")
+    match BitPermutation::new(lo, table) {
+        Ok(p) => p,
+        Err(e) => panic!("constructed table is not a permutation: {e}"),
+    }
 }
 
 /// Convenience: the full [`BitShuffleMapping`] for a profiled BFRV.

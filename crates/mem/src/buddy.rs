@@ -92,10 +92,7 @@ impl BuddyAllocator {
         }
         // Find the smallest order >= requested with a free block.
         let from = (order..=self.max_order).find(|&o| !self.free_lists[o as usize].is_empty())?;
-        let mut offset = *self.free_lists[from as usize]
-            .iter()
-            .next()
-            .expect("non-empty");
+        let mut offset = *self.free_lists[from as usize].iter().next()?;
         self.free_lists[from as usize].remove(&offset);
         // Split down to the requested order, keeping the low half.
         let mut o = from;
@@ -129,10 +126,10 @@ impl BuddyAllocator {
                 "double free of block {offset} order {order}"
             );
         }
-        self.allocated_pages = self
-            .allocated_pages
-            .checked_sub(1u64 << order)
-            .expect("freeing more than allocated");
+        let Some(remaining) = self.allocated_pages.checked_sub(1u64 << order) else {
+            panic!("freeing more than allocated");
+        };
+        self.allocated_pages = remaining;
         let mut offset = offset;
         let mut order = order;
         while order < self.max_order {

@@ -28,6 +28,12 @@ pub enum MemError {
         /// The offending size.
         size: u64,
     },
+    /// The process id does not name a live process (used by the
+    /// system-level wrappers in `sdam`, which key allocators by pid).
+    UnknownProcess {
+        /// The offending process id.
+        pid: u32,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -44,6 +50,7 @@ impl std::fmt::Display for MemError {
             MemError::UnknownMapping(id) => write!(f, "mapping {id} was never registered"),
             MemError::MappingIdsExhausted => write!(f, "all 256 mapping ids are in use"),
             MemError::InvalidSize { size } => write!(f, "invalid allocation size {size}"),
+            MemError::UnknownProcess { pid } => write!(f, "process {pid} is not live"),
         }
     }
 }

@@ -25,6 +25,12 @@ pub const DEFAULT_HEAP_BYTES: u64 = 1 << 22;
 /// Base virtual address of the first heap.
 const HEAP_BASE: u64 = 1 << 44;
 
+/// Largest single allocation a heap will serve (1 TB). Anything bigger
+/// is a bug or an attack on the allocator's address arithmetic, not a
+/// plausible request, and is rejected as [`MemError::InvalidSize`]
+/// before any rounding can overflow.
+pub const MAX_ALLOC_BYTES: u64 = 1 << 40;
+
 /// Allocation alignment in bytes.
 const ALIGN: u64 = 16;
 
@@ -203,8 +209,9 @@ impl MultiHeapMalloc {
     ///
     /// # Errors
     ///
-    /// [`MemError::InvalidSize`] for zero sizes;
-    /// [`MemError::UnknownMapping`] for unregistered ids.
+    /// [`MemError::InvalidSize`] for zero or oversized
+    /// (> [`MAX_ALLOC_BYTES`]) sizes; [`MemError::UnknownMapping`] for
+    /// unregistered ids.
     pub fn malloc(&mut self, size: u64, mapping: Option<MappingId>) -> Result<VirtAddr, MemError> {
         self.malloc_with(size, mapping, false)
     }
@@ -232,7 +239,7 @@ impl MultiHeapMalloc {
         sensitive: bool,
     ) -> Result<VirtAddr, MemError> {
         let mapping = mapping.unwrap_or(MappingId::DEFAULT);
-        if size == 0 {
+        if size == 0 || size > MAX_ALLOC_BYTES {
             return Err(MemError::InvalidSize { size });
         }
         if !self.registered.contains(&mapping) {
@@ -266,9 +273,11 @@ impl MultiHeapMalloc {
         self.heaps.push(Heap::new(region, header_bytes));
         self.by_mapping.entry(mapping).or_default().push(idx);
         self.new_regions.push(region);
-        let addr = self.heaps[idx]
-            .alloc(size)
-            .expect("fresh heap fits the request");
+        // The fresh heap was sized to the request, so this cannot fail;
+        // the guard keeps the path panic-free regardless.
+        let Some(addr) = self.heaps[idx].alloc(size) else {
+            return Err(MemError::InvalidSize { size });
+        };
         Ok(VirtAddr(addr))
     }
 

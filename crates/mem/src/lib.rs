@@ -46,6 +46,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod buddy;
 pub mod error;
@@ -55,6 +56,7 @@ pub mod phys;
 pub mod vma;
 
 pub use error::MemError;
+pub use heap::MAX_ALLOC_BYTES;
 
 /// A virtual address in a process address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

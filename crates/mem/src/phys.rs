@@ -232,7 +232,9 @@ impl ChunkAllocator {
         if let Some(chunks) = self.groups.get(&mapping) {
             let candidates: Vec<u64> = chunks.iter().copied().collect();
             for c in candidates {
-                let state = self.chunks.get_mut(&c).expect("group chunks are live");
+                let Some(state) = self.chunks.get_mut(&c) else {
+                    continue;
+                };
                 if state.sensitive != sensitive {
                     continue;
                 }
@@ -277,9 +279,15 @@ impl ChunkAllocator {
         };
         self.free_chunks.remove(&c);
         let mut buddy = BuddyAllocator::new(self.pages_per_chunk_order);
-        let off = buddy
-            .alloc(order)
-            .expect("fresh chunk can satisfy any in-range order");
+        // Every caller bounds `order` by `pages_per_chunk_order`, so a
+        // fresh chunk always satisfies it; the guard keeps the path
+        // panic-free regardless.
+        let Some(off) = buddy.alloc(order) else {
+            self.free_chunks.insert(c);
+            return Err(MemError::InvalidSize {
+                size: (1u64 << order) * self.page_bytes(),
+            });
+        };
         let mut blocks = BTreeMap::new();
         blocks.insert(off, order);
         self.chunks.insert(
@@ -333,10 +341,9 @@ impl ChunkAllocator {
             let mapping = state.mapping;
             let was_sensitive = state.sensitive;
             self.chunks.remove(&chunk);
-            self.groups
-                .get_mut(&mapping)
-                .expect("chunk was in its group")
-                .remove(&chunk);
+            if let Some(group) = self.groups.get_mut(&mapping) {
+                group.remove(&chunk);
+            }
             self.free_chunks.insert(chunk);
             // A freed sensitive chunk releases its guards (unless a
             // guard still protects another sensitive chunk).

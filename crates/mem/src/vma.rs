@@ -179,7 +179,7 @@ impl AddressSpace {
         let pages = area.len >> self.page_bits;
         for vpn in first_vpn..first_vpn + pages {
             if let Some(pa) = self.page_table.remove(&vpn) {
-                if let Some(ev) = phys.free_block(pa).expect("page table holds valid frames") {
+                if let Some(ev) = phys.free_block(pa)? {
                     self.pending_events.push(ev);
                 }
             }

@@ -1,5 +1,22 @@
 //! Training hyper-parameters (the paper's Table 2).
 
+/// An invalid [`TrainingConfig`] (which hyper-parameter constraint was
+/// violated). `sdam` (core) folds this into its `ConfigError::Training`
+/// variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingError {
+    /// The violated constraint.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for TrainingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid training config: {}", self.what)
+    }
+}
+
+impl std::error::Error for TrainingError {}
+
 /// Hyper-parameters for the embedding-LSTM autoencoder.
 ///
 /// [`TrainingConfig::paper`] reproduces Table 2 exactly;
@@ -70,14 +87,43 @@ impl TrainingConfig {
     /// Panics if any dimension or the step count is zero, or λ is
     /// negative.
     pub fn validate(&self) {
-        assert!(self.hidden_dim > 0, "hidden_dim must be positive");
-        assert!(self.layers > 0, "layers must be positive");
-        assert!(self.embedding_dim > 0, "embedding_dim must be positive");
-        assert!(self.steps > 0, "steps must be positive");
-        assert!(self.seq_len >= 2, "sequences need at least two elements");
-        assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        assert!(self.delta_vocab_cap > 1, "delta vocabulary too small");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`TrainingConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrainingError`] naming the violated constraint.
+    pub fn try_validate(&self) -> Result<(), TrainingError> {
+        let bad = |what| Err(TrainingError { what });
+        if self.hidden_dim == 0 {
+            return bad("hidden_dim must be positive");
+        }
+        if self.layers == 0 {
+            return bad("layers must be positive");
+        }
+        if self.embedding_dim == 0 {
+            return bad("embedding_dim must be positive");
+        }
+        if self.steps == 0 {
+            return bad("steps must be positive");
+        }
+        if self.seq_len < 2 {
+            return bad("sequences need at least two elements");
+        }
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
+            return bad("learning rate must be positive");
+        }
+        if self.lambda < 0.0 || self.lambda.is_nan() {
+            return bad("lambda must be non-negative");
+        }
+        if self.delta_vocab_cap <= 1 {
+            return bad("delta vocabulary too small");
+        }
+        Ok(())
     }
 }
 
@@ -112,6 +158,18 @@ mod tests {
         c.validate();
         assert!(c.steps < 10_000);
         assert!(c.hidden_dim <= 64);
+    }
+
+    #[test]
+    fn try_validate_names_the_constraint() {
+        let bad = TrainingConfig {
+            steps: 0,
+            ..TrainingConfig::laptop()
+        };
+        let err = bad.try_validate().unwrap_err();
+        assert_eq!(err.what, "steps must be positive");
+        assert!(err.to_string().contains("steps"));
+        assert!(TrainingConfig::laptop().try_validate().is_ok());
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod linalg;
 pub mod lstm;
 pub mod optim;
 
-pub use config::TrainingConfig;
+pub use config::{TrainingConfig, TrainingError};
 pub use kmeans::{kmeans, silhouette, Clustering, KMeansConfig};

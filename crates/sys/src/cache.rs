@@ -1,5 +1,7 @@
 //! A set-associative cache simulator with LRU replacement.
 
+use crate::error::ConfigError;
+
 /// Cache shape parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -51,19 +53,38 @@ impl CacheConfig {
     /// Panics if any parameter is zero, the line size is not a power of
     /// two, or the capacity does not divide evenly into sets.
     pub fn validate(&self) {
-        assert!(self.capacity_bytes > 0, "capacity must be non-zero");
-        assert!(self.ways > 0, "associativity must be non-zero");
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(self.hit_latency > 0, "hit latency must be non-zero");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`CacheConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Cache`] naming the violated constraint.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        let bad = |what| Err(ConfigError::Cache { what });
+        if self.capacity_bytes == 0 {
+            return bad("capacity must be non-zero");
+        }
+        if self.ways == 0 {
+            return bad("associativity must be non-zero");
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return bad("line size must be a power of two");
+        }
+        if self.hit_latency == 0 {
+            return bad("hit latency must be non-zero");
+        }
         let sets = self.capacity_bytes / (self.line_bytes * self.ways as u64);
-        assert!(sets > 0, "capacity too small for the associativity");
-        assert!(
-            sets.is_power_of_two(),
-            "set count must be a power of two for bit indexing"
-        );
+        if sets == 0 {
+            return bad("capacity too small for the associativity");
+        }
+        if !sets.is_power_of_two() {
+            return bad("set count must be a power of two for bit indexing");
+        }
+        Ok(())
     }
 }
 

@@ -36,11 +36,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod error;
 pub mod machine;
 pub mod path;
 
 pub use cache::{Cache, CacheConfig};
-pub use machine::{ExecutionReport, Machine, MachineConfig};
+pub use error::ConfigError;
+pub use machine::{safe_speedup, ExecutionReport, Machine, MachineConfig};
 pub use path::{MappingEngine, TranslationCache};

@@ -21,6 +21,7 @@ use sdam_mapping::PhysAddr;
 use sdam_trace::Trace;
 
 use crate::cache::{Cache, CacheConfig, CacheOutcome};
+use crate::error::ConfigError;
 use crate::path::{MappingEngine, TranslationCache};
 
 /// Machine parameters.
@@ -99,17 +100,35 @@ impl MachineConfig {
     ///
     /// Panics if `num_cores` or `mlp_window` is zero.
     pub fn validate(&self) {
-        assert!(self.num_cores > 0, "need at least one core");
-        assert!(
-            self.mlp_window > 0,
-            "window must allow one outstanding miss"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`MachineConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Machine`] (or [`ConfigError::Cache`] from a cache
+    /// shape) naming the violated constraint.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.num_cores == 0 {
+            return Err(ConfigError::Machine {
+                what: "need at least one core",
+            });
+        }
+        if self.mlp_window == 0 {
+            return Err(ConfigError::Machine {
+                what: "window must allow one outstanding miss",
+            });
+        }
         if let Some(c) = self.l1 {
-            c.validate();
+            c.try_validate()?;
         }
         if let Some(c) = self.llc {
-            c.validate();
+            c.try_validate()?;
         }
+        Ok(())
     }
 }
 
@@ -148,8 +167,13 @@ pub struct ExecutionReport {
 
 impl ExecutionReport {
     /// Speedup of this run relative to a baseline run of the same trace.
+    ///
+    /// Degenerate runs carry no signal, so the ratio is guarded instead
+    /// of emitting `inf`/`NaN`: when both runs recorded zero cycles the
+    /// speedup is `1.0` (identically empty runs), and when exactly one
+    /// side is zero it is `0.0`.
     pub fn speedup_over(&self, baseline: &ExecutionReport) -> f64 {
-        baseline.cycles as f64 / self.cycles as f64
+        safe_speedup(baseline.cycles, self.cycles)
     }
 
     /// Fraction of external requests among all accesses.
@@ -171,6 +195,16 @@ impl ExecutionReport {
     }
 }
 
+/// `baseline_cycles / cycles` with zero denominators guarded: `1.0`
+/// when both are zero, `0.0` when exactly one is.
+pub fn safe_speedup(baseline_cycles: u64, cycles: u64) -> f64 {
+    match (baseline_cycles, cycles) {
+        (0, 0) => 1.0,
+        (0, _) | (_, 0) => 0.0,
+        (b, c) => b as f64 / c as f64,
+    }
+}
+
 /// The machine: cores + caches + memory device.
 #[derive(Debug)]
 pub struct Machine {
@@ -187,12 +221,24 @@ impl Machine {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: MachineConfig, geometry: Geometry) -> Self {
-        config.validate();
-        Machine {
+        match Machine::try_new(config, geometry) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Machine::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the machine configuration is invalid.
+    pub fn try_new(config: MachineConfig, geometry: Geometry) -> Result<Self, ConfigError> {
+        config.try_validate()?;
+        Ok(Machine {
             config,
             geometry,
             timing: Timing::hbm2(),
-        }
+        })
     }
 
     /// Overrides the memory timing (the Fig. 14 frequency-scaling knob).
@@ -245,10 +291,11 @@ impl Machine {
             memory_requests += 1;
             per_core[core].misses += 1;
             if outstanding[core].len() >= self.config.mlp_window {
-                let oldest = outstanding[core].pop_front().expect("window full");
-                if oldest > clocks[core] {
-                    per_core[core].window_stall_cycles += oldest - clocks[core];
-                    clocks[core] = oldest;
+                if let Some(oldest) = outstanding[core].pop_front() {
+                    if oldest > clocks[core] {
+                        per_core[core].window_stall_cycles += oldest - clocks[core];
+                        clocks[core] = oldest;
+                    }
                 }
             }
             let ha = engine.decode_cached(PhysAddr(a.addr), self.geometry, &mut caches[core]);
@@ -309,6 +356,24 @@ impl Machine {
             return self.run(trace, engine);
         }
         self.run_sharded(trace, engine, threads)
+    }
+
+    /// Fallible twin of [`Machine::run_with`]: re-checks the machine
+    /// configuration (a `Machine` can be built from a mutated config by
+    /// value) and then runs. The report is identical to
+    /// [`Machine::run_with`]'s.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the machine configuration is invalid.
+    pub fn try_run_with(
+        &mut self,
+        trace: &Trace,
+        engine: &MappingEngine,
+        threads: usize,
+    ) -> Result<ExecutionReport, ConfigError> {
+        self.config.try_validate()?;
+        Ok(self.run_with(trace, engine, threads))
     }
 
     fn run_sharded(
@@ -409,11 +474,12 @@ impl Machine {
                 memory_requests += 1;
                 per_core[core].misses += 1;
                 if outstanding[core].len() >= self.config.mlp_window {
-                    let oldest_slot = outstanding[core].pop_front().expect("window full");
-                    let oldest = wait_for(oldest_slot);
-                    if oldest > clocks[core] {
-                        per_core[core].window_stall_cycles += oldest - clocks[core];
-                        clocks[core] = oldest;
+                    if let Some(oldest_slot) = outstanding[core].pop_front() {
+                        let oldest = wait_for(oldest_slot);
+                        if oldest > clocks[core] {
+                            per_core[core].window_stall_cycles += oldest - clocks[core];
+                            clocks[core] = oldest;
+                        }
                     }
                 }
                 let ha = engine.decode_cached(PhysAddr(a.addr), geom, &mut caches[core]);
@@ -422,9 +488,15 @@ impl Machine {
                 // see the same effective addresses.
                 let eff = bank_hashed(geom, ha);
                 let issue = clocks[core] + lookup;
-                senders[eff.channel as usize % workers]
+                // A send fails only if the worker died (panicked); store
+                // a completion so the driver cannot deadlock — the panic
+                // resurfaces at join below.
+                if senders[eff.channel as usize % workers]
                     .send((slot, eff, a.is_write, issue))
-                    .expect("worker alive while driver runs");
+                    .is_err()
+                {
+                    slots[slot].store(issue, Ordering::Release);
+                }
                 outstanding[core].push_back(slot);
                 clocks[core] += 1; // issue slot
             }
@@ -432,8 +504,13 @@ impl Machine {
 
             let mut per_channel = vec![ChannelStats::default(); num_channels];
             for h in handles {
-                for (ch, stats) in h.join().expect("channel worker panicked") {
-                    per_channel[ch] = stats;
+                match h.join() {
+                    Ok(list) => {
+                        for (ch, stats) in list {
+                            per_channel[ch] = stats;
+                        }
+                    }
+                    Err(e) => std::panic::resume_unwind(e),
                 }
             }
             per_channel
@@ -708,6 +785,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_cycle_speedups_are_guarded() {
+        let geom = Geometry::hbm2_8gb();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let empty = m.run(&Trace::new(), &MappingEngine::identity());
+        let real = m.run(&stride_trace(64, 100), &MappingEngine::identity());
+        assert_eq!(empty.cycles, 0);
+        // Both zero: identical empty runs compare as 1.0.
+        assert_eq!(empty.speedup_over(&empty), 1.0);
+        // One side zero: no signal, guarded to 0.0 — never inf/NaN.
+        assert_eq!(real.speedup_over(&empty), 0.0);
+        assert_eq!(empty.speedup_over(&real), 0.0);
+        assert!(empty.speedup_over(&real).is_finite());
+        // The already-guarded helpers stay guarded.
+        assert_eq!(empty.external_access_rate(), 0.0);
+        assert_eq!(empty.stall_fraction(), 0.0);
+        assert_eq!(safe_speedup(100, 50), 2.0);
+    }
+
+    #[test]
+    fn invalid_machine_configs_return_typed_errors() {
+        let geom = Geometry::hbm2_8gb();
+        let mut cfg = MachineConfig::cpu();
+        cfg.num_cores = 0;
+        assert!(matches!(
+            cfg.try_validate(),
+            Err(ConfigError::Machine { .. })
+        ));
+        assert!(Machine::try_new(cfg, geom).is_err());
+        let mut cfg = MachineConfig::cpu();
+        cfg.mlp_window = 0;
+        assert!(matches!(
+            Machine::try_new(cfg, geom),
+            Err(ConfigError::Machine { .. })
+        ));
+        let mut cfg = MachineConfig::cpu();
+        cfg.l1 = Some(CacheConfig {
+            capacity_bytes: 0,
+            ways: 1,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        assert!(matches!(
+            Machine::try_new(cfg, geom),
+            Err(ConfigError::Cache { .. })
+        ));
+        assert!(Machine::try_new(MachineConfig::cpu(), geom).is_ok());
+    }
+
+    #[test]
+    fn try_run_with_matches_run_with() {
+        let geom = Geometry::hbm2_8gb();
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        let t = mt_stride_trace(32, 500);
+        let want = m.run_with(&t, &MappingEngine::identity(), 2);
+        let got = m.try_run_with(&t, &MappingEngine::identity(), 2).unwrap();
+        assert_eq!(want, got);
     }
 
     #[test]

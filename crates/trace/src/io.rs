@@ -35,6 +35,12 @@ pub enum TraceIoError {
     Io(io::Error),
     /// The magic bytes did not match.
     BadMagic,
+    /// The header is structurally invalid (e.g. nonzero reserved bytes),
+    /// which usually means the stream is corrupt rather than foreign.
+    BadHeader {
+        /// Which header constraint failed.
+        what: &'static str,
+    },
     /// Unsupported format version.
     BadVersion(u8),
     /// The stream ended before `count` records were read.
@@ -51,6 +57,7 @@ impl std::fmt::Display for TraceIoError {
         match self {
             TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
             TraceIoError::BadMagic => write!(f, "not an SDAM trace (bad magic)"),
+            TraceIoError::BadHeader { what } => write!(f, "corrupt trace header: {what}"),
             TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceIoError::Truncated { expected, got } => {
                 write!(f, "trace truncated: expected {expected} records, got {got}")
@@ -118,8 +125,16 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     if header[8] != VERSION {
         return Err(TraceIoError::BadVersion(header[8]));
     }
-    let count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-    let mut trace = Trace::with_capacity(count.min(1 << 24) as usize);
+    if header[9..16].iter().any(|&b| b != 0) {
+        return Err(TraceIoError::BadHeader {
+            what: "reserved bytes must be zero",
+        });
+    }
+    let count = u64::from_le_bytes(field(&header[16..24]));
+    // The count is attacker-controlled until the records actually
+    // arrive, so it only *hints* the pre-allocation (growth is amortized
+    // for genuinely large traces; a corrupt count costs nothing).
+    let mut trace = Trace::with_capacity(count.min(1 << 16) as usize);
     let mut rec = [0u8; RECORD_BYTES];
     for i in 0..count {
         if let Err(e) = r.read_exact(&mut rec) {
@@ -132,14 +147,23 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
             return Err(TraceIoError::Io(e));
         }
         trace.push(MemAccess {
-            addr: u64::from_le_bytes(rec[0..8].try_into().expect("8")),
-            pc: u64::from_le_bytes(rec[8..16].try_into().expect("8")),
-            thread: ThreadId(u16::from_le_bytes(rec[16..18].try_into().expect("2"))),
-            variable: VariableId(u32::from_le_bytes(rec[18..22].try_into().expect("4"))),
+            addr: u64::from_le_bytes(field(&rec[0..8])),
+            pc: u64::from_le_bytes(field(&rec[8..16])),
+            thread: ThreadId(u16::from_le_bytes(field(&rec[16..18]))),
+            variable: VariableId(u32::from_le_bytes(field(&rec[18..22]))),
             is_write: rec[22] & 1 != 0,
         });
     }
     Ok(trace)
+}
+
+/// Copies a fixed-width field out of a record slice. The caller passes
+/// slices whose length is a compile-time constant range, so the copy
+/// never misfits; this keeps the parse loop free of `try_into` panics.
+fn field<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(bytes);
+    out
 }
 
 #[cfg(test)]
@@ -194,6 +218,47 @@ mod tests {
             read_trace(buf.as_slice()),
             Err(TraceIoError::BadVersion(9))
         ));
+    }
+
+    #[test]
+    fn corrupted_reserved_bytes_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf[12] = 0xff;
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceIoError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn header_only_stream_with_huge_count_is_truncated_not_oom() {
+        // A corrupt count must not pre-allocate unboundedly or panic; it
+        // reads what is there and reports truncation.
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(), &mut buf).unwrap();
+        buf[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        match read_trace(buf.as_slice()) {
+            Err(TraceIoError::Truncated { expected, got }) => {
+                assert_eq!(expected, u64::MAX);
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_record_truncation_detected() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf.truncate(24 + RECORD_BYTES / 2);
+        match read_trace(buf.as_slice()) {
+            Err(TraceIoError::Truncated { expected, got }) => {
+                assert_eq!(expected, 150);
+                assert_eq!(got, 0);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -113,6 +113,15 @@ pub trait Workload: std::fmt::Debug + Sync {
 
     /// Generates the access trace at the given scale.
     fn generate(&self, scale: Scale) -> Trace;
+
+    /// A stable identity for artifact caching: two workloads with equal
+    /// fingerprints must generate identical traces for equal scales.
+    /// The default combines the name with the `Debug` rendering, which
+    /// captures constructor parameters (strides, thread counts, sizes)
+    /// without any per-implementation work.
+    fn fingerprint(&self) -> String {
+        format!("{}:{:?}", self.name(), self)
+    }
 }
 
 /// The data-intensive suite of the paper (§7.2): graph processing,

@@ -127,6 +127,37 @@ impl Bencher {
             self.samples.push(t.elapsed());
         }
     }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement (upstream criterion's
+    /// `iter_batched`; the batch-size hint is accepted for
+    /// compatibility but each iteration gets a fresh input).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always uses one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many inputs per batch upstream; one per iteration here.
+    SmallInput,
+    /// Few inputs per batch upstream; one per iteration here.
+    LargeInput,
+    /// One input per iteration (what the shim always does).
+    PerIteration,
 }
 
 fn run_one<F>(name: &str, samples: usize, mut f: F)
