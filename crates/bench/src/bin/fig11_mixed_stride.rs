@@ -3,7 +3,9 @@
 //! distribution over 64 strides for BS+BSM, BS+HM, and SDM+BSM.
 
 use sdam::{pipeline, Experiment, SystemConfig};
-use sdam_bench::{exit_on_err, f2, header, row, scale_from_args};
+use sdam_bench::{
+    exit_on_err, f2, header, merged_comparison_metrics, row, scale_from_args, write_metrics_sidecar,
+};
 use sdam_hbm::{Geometry, Hbm, Timing};
 use sdam_mapping::{select, AddressMapping, BitFlipRateVector, HashMapping, PhysAddr};
 use sdam_workloads::datacopy::DataCopy;
@@ -32,6 +34,7 @@ fn part_a() {
     let peak = streaming.report.cycles as f64;
 
     let cases: [&[u64]; 4] = [&[1], &[1, 16], &[1, 8, 16], &[1, 4, 8, 16]];
+    let mut comparisons = Vec::new();
     for strides in cases {
         let w = DataCopy::new(strides.to_vec());
         let cmp = exit_on_err(pipeline::try_compare(&w, &configs, &exp));
@@ -47,7 +50,12 @@ fn part_a() {
             cells.push(f2(peak / cycles));
         }
         row(&cells);
+        comparisons.push(cmp);
     }
+    write_metrics_sidecar(
+        "fig11_mixed_stride",
+        &merged_comparison_metrics(&comparisons),
+    );
     println!(
         "paper: BS+BSM matches SDM+BSM at one stride, degrades with the \
          mix; BS+HM is flat; SDM keeps the lead"

@@ -6,7 +6,9 @@
 //! barely helps: no single shuffle suits every application.
 
 use sdam::{pipeline, profiling, report, Experiment, SystemConfig};
-use sdam_bench::{exit_on_err, f2, header, scale_from_args};
+use sdam_bench::{
+    exit_on_err, f2, header, merged_comparison_metrics, scale_from_args, write_metrics_sidecar,
+};
 use sdam_mapping::BitFlipRateVector;
 use sdam_workloads::{data_intensive_suite, standard_suite, Workload};
 
@@ -67,9 +69,17 @@ fn run_suite(name: &str, suite: &[Box<dyn Workload>], exp: &Experiment) -> Vec<r
                 Some(&data),
             )));
         }
+        let metrics = {
+            let mut m = sdam_obs::Registry::new();
+            for r in &results {
+                m.merge(&r.metrics);
+            }
+            m
+        };
         let cmp = report::Comparison {
             workload: w.name().to_string(),
             results,
+            metrics,
         };
         print!("{:<14}", cmp.workload);
         for &c in &configs[1..] {
@@ -115,6 +125,8 @@ fn main() {
         &data_intensive_suite(),
         &exp,
     );
+    write_metrics_sidecar("fig12_standard", &merged_comparison_metrics(&std_cmp));
+    write_metrics_sidecar("fig12_data_intensive", &merged_comparison_metrics(&di_cmp));
 
     header("paper reference points");
     println!(

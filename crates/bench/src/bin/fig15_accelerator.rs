@@ -8,7 +8,9 @@
 
 use sdam::stage::StageCache;
 use sdam::{pipeline, report, Experiment, SystemConfig};
-use sdam_bench::{exit_on_err, f2, header, scale_from_args};
+use sdam_bench::{
+    exit_on_err, f2, header, merged_comparison_metrics, scale_from_args, write_metrics_sidecar,
+};
 use sdam_sys::MachineConfig;
 use sdam_workloads::data_intensive_suite;
 
@@ -64,5 +66,9 @@ fn main() {
         );
     }
     println!();
+    write_metrics_sidecar(
+        "fig15_accelerator",
+        &merged_comparison_metrics(&comparisons),
+    );
     println!("\npaper: SDM+BSM+DL reaches 2.58x on the accelerator (vs 1.84x on CPU)");
 }

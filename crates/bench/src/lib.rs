@@ -56,6 +56,48 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Writes a figure binary's merged observability snapshot as a stable
+/// JSON sidecar: `$SDAM_METRICS_DIR/<tag>.metrics.json` (default
+/// `target/metrics/`). The snapshot is [`sdam_obs::Registry::stable_json`]
+/// — deterministic, so CI can pin it with a golden test. A build with
+/// the `obs` feature disabled produces empty registries and writes
+/// nothing.
+pub fn write_metrics_sidecar(tag: &str, reg: &sdam_obs::Registry) {
+    if reg.is_empty() {
+        return;
+    }
+    let dir = std::env::var("SDAM_METRICS_DIR").unwrap_or_else(|_| "target/metrics".to_string());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(format!("{tag}.metrics.json"));
+    match std::fs::write(&path, reg.stable_json()) {
+        Ok(()) => println!("(metrics written to {})", path.display()),
+        Err(e) => eprintln!("metrics write failed for {}: {e}", path.display()),
+    }
+}
+
+/// Merges the per-run snapshots of hand-built comparisons (the figure
+/// binaries that assemble [`sdam::report::Comparison`] themselves) in
+/// row order — mirroring what [`sdam::pipeline::compare`] does for its
+/// own lineup.
+pub fn merged_comparison_metrics(comparisons: &[sdam::report::Comparison]) -> sdam_obs::Registry {
+    let mut reg = sdam_obs::Registry::new();
+    for c in comparisons {
+        if c.metrics.is_empty() {
+            // Hand-built comparison: fold its rows directly.
+            for r in &c.results {
+                reg.merge(&r.metrics);
+            }
+        } else {
+            // Pipeline-built: its merged snapshot already covers the rows.
+            reg.merge(&c.metrics);
+        }
+    }
+    reg
+}
+
 /// Prints an aligned row of cells.
 pub fn row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();

@@ -54,6 +54,7 @@
 
 pub mod config;
 pub mod error;
+pub mod metrics;
 pub mod par;
 pub mod pipeline;
 pub mod profiling;
@@ -64,5 +65,6 @@ pub mod system;
 pub use config::{Experiment, Parallelism, SystemConfig};
 pub use error::SdamError;
 pub use report::{Comparison, PhaseTimes, RunResult};
+pub use sdam_obs as obs;
 pub use sdam_sys::ConfigError;
 pub use system::{ProcessId, SdamSystem};

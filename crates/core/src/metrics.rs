@@ -1,0 +1,172 @@
+//! Assembly of observability snapshots (the workspace's single metrics
+//! path).
+//!
+//! Every layer of the stack keeps plain per-component counters in its
+//! own sharded accumulators ([`sdam_hbm::ChannelStats`],
+//! [`sdam_sys::TranslationStats`], the allocator counters in
+//! [`sdam_mem`]); nothing in a hot loop touches a registry or an
+//! atomic. This module is where those accumulators are *merged* into
+//! one [`Registry`] — once per run, at the report barrier — which is
+//! what keeps the snapshot bit-identical between the serial driver and
+//! the channel-sharded parallel one: the shards are always folded in a
+//! fixed order (channel order, core order, process order, lineup
+//! order), never racily.
+//!
+//! The merge is gated on the `obs` cargo feature. With the feature off
+//! every function here returns/leaves an empty registry, the per-run
+//! cost is a handful of branch-on-constant checks, and downstream
+//! consumers (`RunResult::metrics`, JSON sidecars) see an empty — but
+//! still schema-valid — snapshot.
+//!
+//! ## Namespace
+//!
+//! | prefix     | source                                              |
+//! |------------|-----------------------------------------------------|
+//! | `hbm.*`    | [`sdam_hbm::SimStats::export_into`] (per-channel and aggregated row-buffer counters) |
+//! | `cmt.*`    | [`sdam_sys::TranslationStats::export_into`] (CMT translate memo) |
+//! | `mem.*`    | [`SdamSystem::export_into`] (chunk allocator + malloc + faults) |
+//! | `machine.*`| the [`ExecutionReport`] headline numbers            |
+//! | `stage.*`  | [`StageCache`] hit/miss counters and (volatile) per-phase wall-clock |
+//!
+//! `stage.<phase>.nanos` entries are host wall-clock and therefore go
+//! into the registry's *volatile* section, which
+//! [`Registry::stable_json`] excludes — the stable snapshot contains
+//! only replayable simulation facts.
+
+use sdam_obs::Registry;
+use sdam_sys::ExecutionReport;
+
+use crate::report::{PhaseTimes, RunResult};
+use crate::stage::StageCache;
+use crate::system::SdamSystem;
+
+/// Whether snapshot collection is compiled in (the `obs` feature).
+pub const OBS_ENABLED: bool = cfg!(feature = "obs");
+
+/// Builds the per-run snapshot from the run's sharded accumulators:
+/// the machine report (which carries the HBM and translation stats),
+/// the system the trace was allocated into (chunk/malloc counters and
+/// the allocation event trace), and the host-side phase times.
+///
+/// Returns an empty registry when the `obs` feature is off.
+pub fn collect_run_metrics(
+    report: &ExecutionReport,
+    sys: Option<&SdamSystem>,
+    phases: &PhaseTimes,
+) -> Registry {
+    let mut reg = Registry::new();
+    if !OBS_ENABLED {
+        return reg;
+    }
+    reg.incr("machine.cycles", report.cycles);
+    reg.incr("machine.accesses", report.accesses);
+    reg.incr("machine.memory_requests", report.memory_requests);
+    reg.incr("machine.l1_hits", report.l1_hits);
+    report.memory.export_into(&mut reg);
+    report.translation.export_into(&mut reg);
+    if let Some(sys) = sys {
+        sys.export_into(&mut reg);
+    }
+    export_phases(phases, &mut reg);
+    reg
+}
+
+/// Folds host wall-clock per phase into the registry's volatile
+/// section (excluded from [`Registry::stable_json`] — wall-clock can
+/// never be deterministic).
+pub fn export_phases(phases: &PhaseTimes, reg: &mut Registry) {
+    if !OBS_ENABLED {
+        return;
+    }
+    reg.set_volatile("stage.profile.nanos", phases.profile.as_nanos() as u64);
+    reg.set_volatile("stage.select.nanos", phases.select.as_nanos() as u64);
+    reg.set_volatile(
+        "stage.materialize.nanos",
+        phases.materialize.as_nanos() as u64,
+    );
+    reg.set_volatile("stage.execute.nanos", phases.execute.as_nanos() as u64);
+}
+
+/// Merges the per-run snapshots of a comparison sweep, in lineup
+/// order, and appends the stage-cache counters.
+///
+/// The cache counters are deterministic even under the threaded
+/// fan-out because [`crate::pipeline::try_compare_with_cache`] warms
+/// the profile serially before fanning out (so the miss count does not
+/// depend on thread interleaving) and selection keys are distinct per
+/// configuration. Note they read the *cache's* cumulative totals: a
+/// harness sharing one cache across sweeps sees the running sum.
+pub fn merge_sweep_metrics(results: &[RunResult], cache: &StageCache) -> Registry {
+    let mut reg = Registry::new();
+    if !OBS_ENABLED {
+        return reg;
+    }
+    for r in results {
+        reg.merge(&r.metrics);
+    }
+    reg.incr("stage.profile_cache.hits", cache.profile_hits());
+    reg.incr("stage.profile_cache.misses", cache.profile_misses());
+    reg.incr("stage.selection_cache.hits", cache.selection_hits());
+    reg.incr("stage.selection_cache.misses", cache.selection_misses());
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdam_hbm::{SimStats, Timing};
+    use sdam_sys::TranslationStats;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            cycles: 1000,
+            accesses: 100,
+            memory_requests: 40,
+            l1_hits: 60,
+            memory: SimStats {
+                requests: 40,
+                makespan: 900,
+                per_channel: vec![],
+                timing: Timing::hbm2(),
+            },
+            mapping_name: "test".into(),
+            per_core: vec![],
+            translation: TranslationStats {
+                memo_hits: 30,
+                memo_misses: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn run_metrics_cover_machine_hbm_and_cmt() {
+        let reg = collect_run_metrics(&report(), None, &PhaseTimes::default());
+        if !OBS_ENABLED {
+            assert!(reg.is_empty());
+            return;
+        }
+        assert_eq!(reg.counter("machine.cycles"), 1000);
+        assert_eq!(reg.counter("machine.l1_hits"), 60);
+        assert_eq!(reg.counter("hbm.requests"), 40);
+        assert_eq!(reg.counter("cmt.lookups"), 40);
+        assert_eq!(reg.counter("cmt.memo_hits"), 30);
+    }
+
+    #[test]
+    fn phase_times_are_volatile_not_stable() {
+        let phases = PhaseTimes {
+            execute: std::time::Duration::from_nanos(1234),
+            ..PhaseTimes::default()
+        };
+        let reg = collect_run_metrics(&report(), None, &phases);
+        if !OBS_ENABLED {
+            return;
+        }
+        assert_eq!(reg.volatile("stage.execute.nanos"), 1234);
+        assert!(
+            !reg.stable_json().contains("stage.execute.nanos"),
+            "wall-clock must not leak into the stable snapshot"
+        );
+        assert!(reg.full_json().contains("stage.execute.nanos"));
+    }
+}

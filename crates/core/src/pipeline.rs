@@ -184,9 +184,15 @@ pub fn try_compare_with_cache(
         try_run_with_cache(workload, c, exp, None, cache)
     });
     let results: Result<Vec<RunResult>, SdamError> = results.into_iter().collect();
+    let results = results?;
+    // Snapshots merge in lineup order — the fan-out already returns
+    // results in that order, so the merged registry (event trace
+    // included) is bit-identical to a serial sweep.
+    let metrics = crate::metrics::merge_sweep_metrics(&results, cache);
     Ok(Comparison {
         workload: workload.name().to_string(),
-        results: results?,
+        results,
+        metrics,
     })
 }
 
@@ -345,11 +351,13 @@ pub fn try_run_corun_with_cache(
     let t0 = Instant::now();
     let report = machine.run_with(&combined, &engine, exp.parallelism.threads());
     phases.execute = t0.elapsed();
+    let metrics = crate::metrics::collect_run_metrics(&report, Some(&sys), &phases);
     Ok(RunResult {
         config,
         report,
         learning_time: Some(out.learning_time),
         phases,
+        metrics,
     })
 }
 

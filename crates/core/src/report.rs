@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use sdam_obs::Registry;
 use sdam_sys::ExecutionReport;
 
 use crate::config::SystemConfig;
@@ -42,6 +43,10 @@ pub struct RunResult {
     pub learning_time: Option<Duration>,
     /// Host wall-clock per pipeline phase.
     pub phases: PhaseTimes,
+    /// Observability snapshot for this run (see [`crate::metrics`]):
+    /// `hbm.*`, `cmt.*`, `mem.*`, `machine.*` counters plus the run's
+    /// event trace. Empty when the `obs` feature is disabled.
+    pub metrics: Registry,
 }
 
 /// A workload compared across configurations, with `BS+DM` as the
@@ -52,6 +57,10 @@ pub struct Comparison {
     pub workload: String,
     /// Per-configuration results, in the order requested.
     pub results: Vec<RunResult>,
+    /// The per-run snapshots merged in lineup order, plus the
+    /// `stage.*` cache counters of the sweep. Counters are sums across
+    /// the runs; empty when the `obs` feature is disabled.
+    pub metrics: Registry,
 }
 
 impl Comparison {
@@ -172,9 +181,11 @@ mod tests {
                 },
                 mapping_name: config.to_string(),
                 per_core: vec![],
+                translation: sdam_sys::TranslationStats::default(),
             },
             learning_time: None,
             phases: PhaseTimes::default(),
+            metrics: Registry::default(),
         }
     }
 
@@ -182,6 +193,7 @@ mod tests {
         Comparison {
             workload: "test".into(),
             results: pairs.iter().map(|&(c, n)| result(c, n)).collect(),
+            metrics: Registry::default(),
         }
     }
 

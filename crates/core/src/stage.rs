@@ -401,11 +401,13 @@ impl Stage for ReportStage {
         let Some(report) = ctx.report.take() else {
             panic!("ReportStage needs ExecuteStage's report");
         };
+        let metrics = crate::metrics::collect_run_metrics(&report, ctx.sys.as_ref(), &ctx.phases);
         ctx.result = Some(RunResult {
             config: ctx.config,
             report,
             learning_time: ctx.learning_time,
             phases: ctx.phases,
+            metrics,
         });
         Ok(())
     }

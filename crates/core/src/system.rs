@@ -14,8 +14,10 @@ use sdam_mem::heap::MultiHeapMalloc;
 use sdam_mem::phys::{ChunkAllocator, ChunkEvent};
 use sdam_mem::vma::AddressSpace;
 use sdam_mem::{MemError, VirtAddr};
+use sdam_obs::{EventRing, Registry, DEFAULT_RING_CAPACITY};
 
 use crate::error::SdamError;
+use crate::metrics::OBS_ENABLED;
 
 /// The software-defined-address-mapping system.
 ///
@@ -66,6 +68,11 @@ pub struct SdamSystem {
     cmt: Cmt,
     page_bits: u32,
     registered: Vec<MappingId>,
+    /// Structured allocation/CMT event trace. All pushes happen on the
+    /// system's serial mutation paths (`malloc_in`, `touch_in`), so the
+    /// order is deterministic by construction; with the `obs` feature
+    /// off the ring stays empty.
+    events: EventRing,
 }
 
 impl SdamSystem {
@@ -110,6 +117,11 @@ impl SdamSystem {
             cmt,
             page_bits,
             registered: vec![MappingId::DEFAULT],
+            events: EventRing::with_capacity(if OBS_ENABLED {
+                DEFAULT_RING_CAPACITY
+            } else {
+                0
+            }),
         })
     }
 
@@ -243,11 +255,32 @@ impl SdamSystem {
     ) -> Result<VirtAddr, MemError> {
         let p = self.process_mut(pid)?;
         let va = p.malloc.malloc(size, mapping)?;
-        for region in p.malloc.drain_new_heaps() {
+        let regions = p.malloc.drain_new_heaps();
+        for region in &regions {
             p.aspace
                 .mmap_fixed(region.start, region.len, region.mapping)?;
         }
+        self.trace_heap_growth(pid, &regions);
         Ok(va)
+    }
+
+    /// Records one `mem.heap_grow` event per freshly mapped heap
+    /// region (no-op with the `obs` feature off).
+    fn trace_heap_growth(&mut self, pid: ProcessId, regions: &[sdam_mem::heap::HeapRegion]) {
+        if !OBS_ENABLED {
+            return;
+        }
+        for region in regions {
+            self.events.push(
+                "mem.heap_grow",
+                &[
+                    ("pid", u64::from(pid.0)),
+                    ("start", region.start.raw()),
+                    ("len", region.len),
+                    ("mapping", u64::from(region.mapping.0)),
+                ],
+            );
+        }
     }
 
     /// Allocates guard-isolated (rowhammer-sensitive) memory: the
@@ -266,10 +299,12 @@ impl SdamSystem {
     ) -> Result<VirtAddr, MemError> {
         let p = &mut self.processes[0];
         let va = p.malloc.malloc_sensitive(size, mapping)?;
-        for region in p.malloc.drain_new_heaps() {
+        let regions = p.malloc.drain_new_heaps();
+        for region in &regions {
             p.aspace
                 .mmap_fixed_with(region.start, region.len, region.mapping, region.sensitive)?;
         }
+        self.trace_heap_growth(ProcessId(0), &regions);
         Ok(va)
     }
 
@@ -374,15 +409,25 @@ impl SdamSystem {
             // CMT writes cannot fail; surface a failure as the mapping
             // being unknown rather than panicking.
             match ev {
-                ChunkEvent::Acquired { chunk, mapping } => self
-                    .cmt
-                    .assign_chunk(chunk, mapping)
-                    .map_err(|_| MemError::UnknownMapping(mapping))?,
+                ChunkEvent::Acquired { chunk, mapping } => {
+                    self.cmt
+                        .assign_chunk(chunk, mapping)
+                        .map_err(|_| MemError::UnknownMapping(mapping))?;
+                    if OBS_ENABLED {
+                        self.events.push(
+                            "cmt.assign_chunk",
+                            &[("chunk", chunk), ("mapping", u64::from(mapping.0))],
+                        );
+                    }
+                }
                 ChunkEvent::Released { chunk } => {
                     // Back to the default mapping; the chunk is free.
                     self.cmt
                         .assign_chunk(chunk, MappingId::DEFAULT)
                         .map_err(|_| MemError::UnknownMapping(MappingId::DEFAULT))?;
+                    if OBS_ENABLED {
+                        self.events.push("cmt.release_chunk", &[("chunk", chunk)]);
+                    }
                 }
             }
         }
@@ -430,6 +475,27 @@ impl SdamSystem {
     /// Page size in bytes.
     pub fn page_bytes(&self) -> u64 {
         1u64 << self.page_bits
+    }
+
+    /// The allocation/CMT event trace recorded so far (empty with the
+    /// `obs` feature off).
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Merges this system's `mem.*` accumulators — chunk allocator,
+    /// every process's malloc, demand-paging faults — and its event
+    /// trace into `reg`. Processes fold in spawn order, so the export
+    /// is deterministic regardless of how the *machine* side of the
+    /// run was parallelized (allocation itself is always serial).
+    pub fn export_into(&self, reg: &mut Registry) {
+        self.phys.export_into(reg);
+        for p in &self.processes {
+            p.malloc.export_into(reg);
+        }
+        reg.incr("mem.page_faults", self.page_faults());
+        reg.incr("mem.processes", self.processes.len() as u64);
+        reg.events_mut().merge(&self.events);
     }
 }
 

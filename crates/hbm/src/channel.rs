@@ -108,7 +108,13 @@ impl ChannelSim {
                 self.next_refresh += skip * timing.t_refi;
             }
             while start + timing.t_burst > self.next_refresh {
-                start = start.max(self.next_refresh + timing.t_rfc);
+                if self.next_refresh + timing.t_rfc > start {
+                    // The recovery window actually pushes the transfer
+                    // back (rather than the boundary having passed while
+                    // the bus was busy anyway): that is a refresh stall.
+                    self.stats.refresh_stalls += 1;
+                    start = self.next_refresh + timing.t_rfc;
+                }
                 self.next_refresh += timing.t_refi;
             }
         }
@@ -440,11 +446,14 @@ mod tests {
             for i in 0..4096u64 {
                 end = ch.service_in_order(addr(i / 256, i % 16, 0), 0, tm);
             }
-            end
+            (end, ch.stats().refresh_stalls)
         };
-        let slow = serve(&with);
-        let fast = serve(&without);
+        let (slow, stalled) = serve(&with);
+        let (fast, unstalled) = serve(&without);
         assert!(slow > fast, "refresh must cost time: {slow} vs {fast}");
+        // The stall counter sees exactly the runs where refresh bit.
+        assert!(stalled > 0, "stalls must be counted when refresh is on");
+        assert_eq!(unstalled, 0, "no refresh, no stalls");
         // Overhead stays in the expected single-digit-percent band.
         let overhead = slow as f64 / fast as f64 - 1.0;
         assert!(overhead < 0.15, "refresh overhead too large: {overhead}");

@@ -1,4 +1,12 @@
 //! Simulation statistics: throughput, row-buffer behaviour, channel load.
+//!
+//! These structs are the sharded accumulators of the observability
+//! layer: each channel (or drain worker) counts into its own
+//! [`ChannelStats`] with plain integer adds, and the driver merges them
+//! in channel-id order before exporting to an [`sdam_obs::Registry`]
+//! under the `hbm.*` namespace (see [`SimStats::export_into`]).
+
+use sdam_obs::Registry;
 
 use crate::{Cycle, Timing, LINE_BYTES};
 
@@ -13,6 +21,9 @@ pub struct ChannelStats {
     pub row_misses: u64,
     /// Row-buffer conflicts (precharge + activation).
     pub row_conflicts: u64,
+    /// Requests whose bus transfer was pushed back by a refresh window
+    /// (tREFI boundary crossed, tRFC recovery paid).
+    pub refresh_stalls: u64,
     /// Cycles the channel data bus spent transferring data.
     pub bus_busy_cycles: Cycle,
     /// Completion cycle of the last request served.
@@ -27,6 +38,19 @@ impl ChannelStats {
         } else {
             Some(self.row_hits as f64 / self.requests as f64)
         }
+    }
+
+    /// Exports this channel's counters into `reg` as
+    /// `hbm.channel.<NN>.*` (zero-padded channel id, so counter names
+    /// sort in channel order).
+    pub fn export_into(&self, reg: &mut Registry, channel: usize) {
+        let p = format!("hbm.channel.{channel:02}");
+        reg.incr(&format!("{p}.requests"), self.requests);
+        reg.incr(&format!("{p}.row_hits"), self.row_hits);
+        reg.incr(&format!("{p}.row_misses"), self.row_misses);
+        reg.incr(&format!("{p}.row_conflicts"), self.row_conflicts);
+        reg.incr(&format!("{p}.refresh_stalls"), self.refresh_stalls);
+        reg.incr(&format!("{p}.bus_busy_cycles"), self.bus_busy_cycles);
     }
 }
 
@@ -108,6 +132,34 @@ impl SimStats {
 }
 
 impl SimStats {
+    /// Exports the run's memory-system counters into `reg` under the
+    /// `hbm.*` namespace: aggregate totals, per-channel counters via
+    /// [`ChannelStats::export_into`], and a log2 histogram of the
+    /// per-channel request distribution (`hbm.channel_requests`).
+    ///
+    /// Everything exported is a pure function of the simulated run, so
+    /// it belongs in the stable snapshot.
+    pub fn export_into(&self, reg: &mut Registry) {
+        reg.incr("hbm.requests", self.requests);
+        reg.incr("hbm.makespan_cycles", self.makespan);
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut conflicts = 0;
+        let mut stalls = 0;
+        for (i, c) in self.per_channel.iter().enumerate() {
+            hits += c.row_hits;
+            misses += c.row_misses;
+            conflicts += c.row_conflicts;
+            stalls += c.refresh_stalls;
+            c.export_into(reg, i);
+            reg.observe("hbm.channel_requests", c.requests);
+        }
+        reg.incr("hbm.row_hits", hits);
+        reg.incr("hbm.row_misses", misses);
+        reg.incr("hbm.row_conflicts", conflicts);
+        reg.incr("hbm.refresh_stalls", stalls);
+    }
+
     /// Renders an ASCII bar chart of per-channel request counts — the
     /// quickest way to *see* a mapping's channel balance in a terminal.
     ///
@@ -206,6 +258,28 @@ mod tests {
         // Empty stats render without panicking.
         let empty = stats_with(0, 0, 2);
         assert_eq!(empty.channel_histogram().lines().count(), 2);
+    }
+
+    #[test]
+    fn export_matches_fields() {
+        let mut s = stats_with(10, 500, 2);
+        s.per_channel[0].row_hits = 3;
+        s.per_channel[0].row_misses = 2;
+        s.per_channel[1].row_conflicts = 4;
+        s.per_channel[1].refresh_stalls = 1;
+        s.per_channel[1].bus_busy_cycles = 40;
+        let mut reg = Registry::new();
+        s.export_into(&mut reg);
+        assert_eq!(reg.counter("hbm.requests"), 10);
+        assert_eq!(reg.counter("hbm.makespan_cycles"), 500);
+        assert_eq!(reg.counter("hbm.row_hits"), 3);
+        assert_eq!(reg.counter("hbm.row_misses"), 2);
+        assert_eq!(reg.counter("hbm.row_conflicts"), 4);
+        assert_eq!(reg.counter("hbm.refresh_stalls"), 1);
+        assert_eq!(reg.counter("hbm.channel.00.requests"), 5);
+        assert_eq!(reg.counter("hbm.channel.01.row_conflicts"), 4);
+        assert_eq!(reg.counter("hbm.channel.01.bus_busy_cycles"), 40);
+        assert_eq!(reg.histogram("hbm.channel_requests").unwrap().count(), 2);
     }
 
     #[test]

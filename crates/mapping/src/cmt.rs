@@ -160,6 +160,37 @@ pub struct Cmt {
 pub struct CmtLookupCache {
     entry: Option<(u64, u8)>,
     epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CmtLookupCache {
+    /// Lookups served from the memo (same chunk, same epoch).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that walked the first-level table (cold, chunk switch,
+    /// or epoch invalidation).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total lookups through this cache. By construction every
+    /// [`Cmt::translate_cached`] call is exactly one hit or one miss,
+    /// so `lookups() == hits() + misses()` always.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Memo hit rate in `[0, 1]`; `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.hits + self.misses == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / (self.hits + self.misses) as f64)
+        }
+    }
 }
 
 impl Cmt {
@@ -332,11 +363,15 @@ impl Cmt {
     pub fn translate_cached(&self, pa: PhysAddr, cache: &mut CmtLookupCache) -> HardwareAddr {
         let chunk = pa.chunk_number(self.chunk_bits);
         let id = match cache.entry {
-            Some((c, id)) if c == chunk && cache.epoch == self.epoch => id,
+            Some((c, id)) if c == chunk && cache.epoch == self.epoch => {
+                cache.hits += 1;
+                id
+            }
             _ => {
                 let id = self.chunk_index[chunk as usize];
                 cache.entry = Some((chunk, id));
                 cache.epoch = self.epoch;
+                cache.misses += 1;
                 id
             }
         };
@@ -493,6 +528,32 @@ mod tests {
         cmt.assign_chunk(0, MappingId(2)).unwrap();
         let pa = PhysAddr(1 << 6);
         assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
+    }
+
+    #[test]
+    fn memo_counts_every_lookup_exactly_once() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(1), &swap_perm(2, 9, 15));
+        cmt.assign_chunk(0, MappingId(1)).unwrap();
+        let mut cache = CmtLookupCache::default();
+        assert_eq!(cache.hit_rate(), None);
+        // Chunk-local run: 1 cold miss + 9 hits.
+        for i in 0..10u64 {
+            cmt.translate_cached(PhysAddr(i << 6), &mut cache);
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 9);
+        // Chunk switch misses once, then hits again.
+        cmt.translate_cached(PhysAddr(1 << 21), &mut cache);
+        cmt.translate_cached(PhysAddr((1 << 21) | 64), &mut cache);
+        assert_eq!(cache.misses(), 2);
+        // Epoch bump invalidates the warm memo: next lookup is a miss.
+        cmt.assign_chunk(2, MappingId(1)).unwrap();
+        cmt.translate_cached(PhysAddr((1 << 21) | 128), &mut cache);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
+        assert_eq!(cache.lookups(), 13);
+        assert_eq!(cache.hit_rate(), Some(10.0 / 13.0));
     }
 
     #[test]

@@ -141,6 +141,13 @@ pub struct MultiHeapMalloc {
     next_mapping: u16,
     next_region: u64,
     new_regions: Vec<HeapRegion>,
+    /// Successful `malloc` calls (monotonic).
+    alloc_calls: u64,
+    /// Successful `free` calls (monotonic).
+    free_calls: u64,
+    /// Heaps ever created (monotonic; heaps are never destroyed, so
+    /// this equals `heaps.len()`, kept as a counter for the registry).
+    heaps_created: u64,
 }
 
 impl MultiHeapMalloc {
@@ -169,6 +176,9 @@ impl MultiHeapMalloc {
             next_mapping: 1,
             next_region: HEAP_BASE,
             new_regions: Vec::new(),
+            alloc_calls: 0,
+            free_calls: 0,
+            heaps_created: 0,
         }
     }
 
@@ -253,6 +263,7 @@ impl MultiHeapMalloc {
                     continue;
                 }
                 if let Some(addr) = self.heaps[i].alloc(size) {
+                    self.alloc_calls += 1;
                     return Ok(VirtAddr(addr));
                 }
             }
@@ -273,11 +284,13 @@ impl MultiHeapMalloc {
         self.heaps.push(Heap::new(region, header_bytes));
         self.by_mapping.entry(mapping).or_default().push(idx);
         self.new_regions.push(region);
+        self.heaps_created += 1;
         // The fresh heap was sized to the request, so this cannot fail;
         // the guard keeps the path panic-free regardless.
         let Some(addr) = self.heaps[idx].alloc(size) else {
             return Err(MemError::InvalidSize { size });
         };
+        self.alloc_calls += 1;
         Ok(VirtAddr(addr))
     }
 
@@ -292,6 +305,7 @@ impl MultiHeapMalloc {
             return Err(MemError::BadFree(va));
         };
         if self.heaps[heap].free_block(va.0) {
+            self.free_calls += 1;
             Ok(())
         } else {
             Err(MemError::BadFree(va))
@@ -333,6 +347,28 @@ impl MultiHeapMalloc {
             .get(&mapping)
             .map(|idxs| idxs.iter().map(|&i| self.heaps[i].live_bytes()).sum())
             .unwrap_or(0)
+    }
+
+    /// Successful `malloc`/`malloc_sensitive` calls so far.
+    pub fn alloc_calls(&self) -> u64 {
+        self.alloc_calls
+    }
+
+    /// Successful `free` calls so far.
+    pub fn free_calls(&self) -> u64 {
+        self.free_calls
+    }
+
+    /// Heaps created so far.
+    pub fn heaps_created(&self) -> u64 {
+        self.heaps_created
+    }
+
+    /// Exports the malloc counters into `reg` under `mem.*`.
+    pub fn export_into(&self, reg: &mut sdam_obs::Registry) {
+        reg.incr("mem.alloc_calls", self.alloc_calls);
+        reg.incr("mem.free_calls", self.free_calls);
+        reg.incr("mem.heaps_created", self.heaps_created);
     }
 
     fn heap_index_of(&self, va: VirtAddr) -> Option<usize> {
@@ -527,6 +563,24 @@ mod tests {
         assert_eq!(m.size_of(VirtAddr(va.0 + 16)), None, "interior pointer");
         m.free(va).unwrap();
         assert_eq!(m.size_of(va), None);
+    }
+
+    #[test]
+    fn call_counters_count_successes_only() {
+        let mut m = small();
+        let a = m.malloc(64, None).unwrap();
+        let b = m.malloc(1 << 20, None).unwrap(); // forces a second heap
+        assert!(m.malloc(0, None).is_err());
+        assert!(m.free(VirtAddr(1)).is_err());
+        m.free(a).unwrap();
+        m.free(b).unwrap();
+        assert_eq!(m.alloc_calls(), 2);
+        assert_eq!(m.free_calls(), 2);
+        assert_eq!(m.heaps_created(), 2);
+        let mut reg = sdam_obs::Registry::new();
+        m.export_into(&mut reg);
+        assert_eq!(reg.counter("mem.alloc_calls"), 2);
+        assert_eq!(reg.counter("mem.heaps_created"), 2);
     }
 
     #[test]

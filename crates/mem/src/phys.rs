@@ -120,6 +120,13 @@ pub struct ChunkAllocator {
     /// chunks (the paper's sketched rowhammer mitigation, §4). Maps the
     /// guard chunk to the sensitive chunks it protects.
     guards: BTreeMap<u64, BTreeSet<u64>>,
+    /// Chunks ever taken off the global free list (monotonic).
+    chunks_claimed: u64,
+    /// Chunks ever returned to the global free list (monotonic).
+    /// `chunks_claimed - chunks_released` always equals the number of
+    /// in-use chunks — the accounting identity `tests/obs_invariants.rs`
+    /// pins.
+    chunks_released: u64,
 }
 
 impl ChunkAllocator {
@@ -141,6 +148,8 @@ impl ChunkAllocator {
             chunks: BTreeMap::new(),
             groups: BTreeMap::new(),
             guards: BTreeMap::new(),
+            chunks_claimed: 0,
+            chunks_released: 0,
         }
     }
 
@@ -300,6 +309,7 @@ impl ChunkAllocator {
             },
         );
         self.groups.entry(mapping).or_default().insert(c);
+        self.chunks_claimed += 1;
         if sensitive {
             for g in [c.checked_sub(1), Some(c + 1)].into_iter().flatten() {
                 if g < self.total_chunks() {
@@ -360,6 +370,7 @@ impl ChunkAllocator {
                     }
                 }
             }
+            self.chunks_released += 1;
             return Ok(Some(ChunkEvent::Released { chunk }));
         }
         Ok(None)
@@ -401,6 +412,37 @@ impl ChunkAllocator {
     /// Chunks currently reserved as rowhammer guards.
     pub fn guard_chunk_count(&self) -> u64 {
         self.guards.len() as u64
+    }
+
+    /// Chunks ever taken off the global free list (monotonic counter).
+    pub fn chunks_claimed(&self) -> u64 {
+        self.chunks_claimed
+    }
+
+    /// Chunks ever returned to the global free list (monotonic counter).
+    pub fn chunks_released(&self) -> u64 {
+        self.chunks_released
+    }
+
+    /// Chunks currently in use (holding at least one live block).
+    pub fn in_use_chunks(&self) -> u64 {
+        self.chunks.len() as u64
+    }
+
+    /// Exports the allocator's counters into `reg` under `mem.*`. The
+    /// monotonic claim/release counters accumulate; the point-in-time
+    /// gauges (`live_chunks`, `guard_chunks`, …) add the current value,
+    /// so merging per-process registries sums their live state.
+    pub fn export_into(&self, reg: &mut sdam_obs::Registry) {
+        reg.incr("mem.chunks_claimed", self.chunks_claimed);
+        reg.incr("mem.chunks_released", self.chunks_released);
+        reg.incr("mem.live_chunks", self.in_use_chunks());
+        reg.incr("mem.guard_chunks", self.guard_chunk_count());
+        reg.incr("mem.allocated_pages", self.allocated_pages());
+        reg.incr(
+            "mem.fragmentation_pages",
+            self.internal_fragmentation_pages(),
+        );
     }
 
     /// A structured snapshot of the allocator's state for reporting.
@@ -666,6 +708,28 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("map#3"));
         assert!(text.contains("8 total"));
+    }
+
+    #[test]
+    fn claim_release_counters_track_live_chunks() {
+        let mut a = small();
+        let r1 = a.alloc_page(MappingId(1)).unwrap();
+        let r2 = a.alloc_page(MappingId(2)).unwrap();
+        let r3 = a.alloc_page(MappingId(2)).unwrap();
+        assert_eq!(a.chunks_claimed(), 2);
+        assert_eq!(a.chunks_released(), 0);
+        assert_eq!(a.in_use_chunks(), 2);
+        a.free_block(r1.pa).unwrap();
+        a.free_block(r2.pa).unwrap();
+        assert_eq!(a.chunks_released(), 1, "mapping 2's chunk still live");
+        assert_eq!(a.chunks_claimed() - a.chunks_released(), a.in_use_chunks());
+        a.free_block(r3.pa).unwrap();
+        assert_eq!(a.chunks_claimed() - a.chunks_released(), 0);
+        let mut reg = sdam_obs::Registry::new();
+        a.export_into(&mut reg);
+        assert_eq!(reg.counter("mem.chunks_claimed"), 2);
+        assert_eq!(reg.counter("mem.chunks_released"), 2);
+        assert_eq!(reg.counter("mem.live_chunks"), 0);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The metrics registry: named counters, volatile values, histograms
+//! and an event ring, with deterministic merge and JSON snapshots.
+
+use std::collections::BTreeMap;
+
+use crate::event::EventRing;
+use crate::hist::Log2Histogram;
+use crate::json::Writer;
+
+/// A bag of named metrics for one run (or one merged set of runs).
+///
+/// Names are dotted paths (`hbm.channel.03.row_hits`). All maps are
+/// sorted, so iteration, equality and serialization are deterministic.
+///
+/// The registry distinguishes *stable* values — pure functions of the
+/// simulated run, safe to pin in golden fixtures and to compare across
+/// serial and threaded drivers — from *volatile* ones (wall-clock
+/// timings), which only appear in [`Registry::full_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    volatile: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Log2Histogram>,
+    events: EventRing,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Sets counter `name` to an absolute value (for gauges sampled at
+    /// snapshot time, e.g. live chunk counts).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `(name, value)` over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sets a volatile (wall-clock) value, excluded from the stable
+    /// snapshot and from cross-driver comparisons.
+    pub fn set_volatile(&mut self, name: &str, value: u64) {
+        self.volatile.insert(name.to_owned(), value);
+    }
+
+    /// Current volatile value (0 when absent).
+    pub fn volatile(&self, name: &str) -> u64 {
+        self.volatile.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`, creating it if needed.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram `name`, if any values were observed.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Shared access to the event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Mutable access to the event ring.
+    pub fn events_mut(&mut self) -> &mut EventRing {
+        &mut self.events
+    }
+
+    /// Whether nothing has been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.volatile.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.events.total_pushed() == 0
+    }
+
+    /// Merges `other` into `self`: counters and volatile values add,
+    /// histograms merge element-wise, events append in `other`'s order.
+    ///
+    /// Deterministic-merge rule: when combining sharded or per-run
+    /// registries, always merge in a fixed order (shard id, lineup
+    /// index) — merge order is the only ordering input.
+    pub fn merge(&mut self, other: &Self) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.volatile {
+            *self.volatile.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        self.events.merge(&other.events);
+    }
+
+    fn to_json(&self, include_volatile: bool) -> String {
+        let mut w = Writer::new();
+        w.open_object(None);
+        w.open_object(Some("counters"));
+        for (k, v) in &self.counters {
+            w.field_u64(k, *v);
+        }
+        w.close_object();
+        w.open_object(Some("histograms"));
+        for (k, h) in &self.histograms {
+            w.open_object(Some(k));
+            w.field_u64("count", h.count());
+            w.field_u64("sum", h.sum());
+            w.open_array(Some("buckets"));
+            for (b, c) in h.nonzero_buckets() {
+                w.pair_u64(b as u64, c);
+            }
+            w.close_array();
+            w.close_object();
+        }
+        w.close_object();
+        w.open_object(Some("events"));
+        w.field_u64("dropped", self.events.dropped());
+        w.open_array(Some("entries"));
+        for e in self.events.iter() {
+            w.open_object(None);
+            w.field_u64("seq", e.seq);
+            w.field_str("kind", &e.kind);
+            w.open_object(Some("fields"));
+            for (k, v) in &e.fields {
+                w.field_u64(k, *v);
+            }
+            w.close_object();
+            w.close_object();
+        }
+        w.close_array();
+        w.close_object();
+        if include_volatile {
+            w.open_object(Some("volatile"));
+            for (k, v) in &self.volatile {
+                w.field_u64(k, *v);
+            }
+            w.close_object();
+        }
+        w.close_object();
+        w.finish()
+    }
+
+    /// The deterministic snapshot: counters, histograms and events.
+    /// Equal registries (ignoring volatile values) produce byte-equal
+    /// output; this is what golden fixtures pin.
+    pub fn stable_json(&self) -> String {
+        self.to_json(false)
+    }
+
+    /// The full snapshot, including the volatile section.
+    pub fn full_json(&self) -> String {
+        self.to_json(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.incr("hbm.requests", 5);
+        r.incr("hbm.requests", 2);
+        r.set("mem.live_chunks", 3);
+        r.set_volatile("stage.profile.nanos", 123);
+        r.observe("hbm.channel_requests", 4);
+        r.observe("hbm.channel_requests", 5);
+        r.events_mut().push("mem.chunk_acquired", &[("chunk", 7)]);
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let r = sample();
+        assert_eq!(r.counter("hbm.requests"), 7);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.volatile("stage.profile.nanos"), 123);
+        assert_eq!(r.histogram("hbm.channel_requests").unwrap().count(), 2);
+        assert!(r.histogram("absent").is_none());
+        assert!(!r.is_empty());
+        assert!(Registry::new().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_everything_in_order() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("hbm.requests"), 14);
+        assert_eq!(a.counter("mem.live_chunks"), 6);
+        assert_eq!(a.volatile("stage.profile.nanos"), 246);
+        assert_eq!(a.histogram("hbm.channel_requests").unwrap().count(), 4);
+        assert_eq!(a.events().len(), 2);
+        let seqs: Vec<u64> = a.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn stable_json_is_deterministic_and_excludes_volatile() {
+        let a = sample();
+        let mut b = Registry::new();
+        // Insert in a different order; BTreeMaps normalize it.
+        b.events_mut().push("mem.chunk_acquired", &[("chunk", 7)]);
+        b.observe("hbm.channel_requests", 5);
+        b.observe("hbm.channel_requests", 4);
+        b.set("mem.live_chunks", 3);
+        b.incr("hbm.requests", 7);
+        b.set_volatile("stage.profile.nanos", 999_999);
+        assert_eq!(a.stable_json(), b.stable_json());
+        assert!(!a.stable_json().contains("volatile"));
+        assert!(a.full_json().contains("\"volatile\""));
+        assert!(a.full_json().contains("\"stage.profile.nanos\": 123"));
+    }
+
+    #[test]
+    fn json_shape_is_parsable_by_eye() {
+        let r = sample();
+        let s = r.stable_json();
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"counters\""));
+        assert!(s.contains("\"hbm.requests\": 7"));
+        assert!(s.contains("\"buckets\""));
+        assert!(s.contains("\"kind\": \"mem.chunk_acquired\""));
+        // Same registry, same bytes.
+        assert_eq!(s, r.stable_json());
+    }
+
+    #[test]
+    fn empty_registry_serializes_cleanly() {
+        let s = Registry::new().stable_json();
+        assert!(s.contains("\"counters\": {}"));
+        assert!(s.contains("\"entries\": []"));
+    }
+}

@@ -46,4 +46,4 @@ pub mod path;
 pub use cache::{Cache, CacheConfig};
 pub use error::ConfigError;
 pub use machine::{safe_speedup, ExecutionReport, Machine, MachineConfig};
-pub use path::{MappingEngine, TranslationCache};
+pub use path::{MappingEngine, TranslationCache, TranslationStats};

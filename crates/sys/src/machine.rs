@@ -22,7 +22,7 @@ use sdam_trace::Trace;
 
 use crate::cache::{Cache, CacheConfig, CacheOutcome};
 use crate::error::ConfigError;
-use crate::path::{MappingEngine, TranslationCache};
+use crate::path::{MappingEngine, TranslationCache, TranslationStats};
 
 /// Machine parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,6 +163,9 @@ pub struct ExecutionReport {
     pub mapping_name: String,
     /// Per-core breakdown.
     pub per_core: Vec<CoreStats>,
+    /// CMT translation counters, summed over the per-core translation
+    /// caches in core order. All zero for `Global` engines.
+    pub translation: TranslationStats,
 }
 
 impl ExecutionReport {
@@ -193,6 +196,18 @@ impl ExecutionReport {
             _ => 0.0,
         }
     }
+}
+
+/// Sums per-core translation-cache counters in core order. Both the
+/// serial and the sharded driver fold their caches through this, and
+/// both drive the caches serially from the same trace, so the result is
+/// bit-identical across drivers by construction.
+fn sum_translation(caches: &[TranslationCache]) -> TranslationStats {
+    let mut total = TranslationStats::default();
+    for c in caches {
+        total.merge(c.stats());
+    }
+    total
 }
 
 /// `baseline_cycles / cycles` with zero denominators guarded: `1.0`
@@ -327,6 +342,7 @@ impl Machine {
             memory: hbm.stats(),
             mapping_name: engine.name().to_string(),
             per_core,
+            translation: sum_translation(&caches),
         }
     }
 
@@ -546,6 +562,7 @@ impl Machine {
             },
             mapping_name: engine.name().to_string(),
             per_core,
+            translation: sum_translation(&caches),
         }
     }
 }
@@ -784,6 +801,28 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn translation_counters_account_for_every_miss() {
+        // Identity: on the chunked path every external request is
+        // exactly one memo hit or miss; global mappings never touch the
+        // memo. Holds on both drivers (they share the serial core model).
+        let geom = Geometry::hbm2_8gb();
+        let chunked = MappingEngine::Chunked(sdam_mapping::Cmt::new(geom.addr_bits(), 21));
+        let trace = mt_stride_trace(32, 2_000);
+        let mut m = Machine::new(MachineConfig::cpu(), geom);
+        for threads in [1usize, 4] {
+            let r = m.run_with(&trace, &chunked, threads);
+            assert_eq!(
+                r.translation.lookups(),
+                r.memory_requests,
+                "{threads} threads: every miss translates exactly once"
+            );
+            assert!(r.translation.memo_hits > 0, "stride runs are chunk-local");
+            let g = m.run_with(&trace, &MappingEngine::identity(), threads);
+            assert_eq!(g.translation, TranslationStats::default());
         }
     }
 

@@ -10,6 +10,61 @@ use sdam_mapping::{AddressMapping, Cmt, CmtLookupCache, IdentityMapping, PhysAdd
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TranslationCache(CmtLookupCache);
 
+impl TranslationCache {
+    /// Lookups served from the last-chunk memo.
+    pub fn hits(&self) -> u64 {
+        self.0.hits()
+    }
+
+    /// Lookups that walked the first-level CMT table.
+    pub fn misses(&self) -> u64 {
+        self.0.misses()
+    }
+
+    /// This cache's counters as a mergeable [`TranslationStats`].
+    pub fn stats(&self) -> TranslationStats {
+        TranslationStats {
+            memo_hits: self.hits(),
+            memo_misses: self.misses(),
+        }
+    }
+}
+
+/// Aggregated CMT translation counters for one run, summed over the
+/// per-core [`TranslationCache`]s in core order.
+///
+/// Every [`Cmt::translate_cached`] call is exactly one memo hit or one
+/// memo miss, so `lookups() == memo_hits + memo_misses` equals the
+/// number of external requests a `Chunked` engine translated. `Global`
+/// engines never touch the memo and leave both counters at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Lookups served from the per-core last-chunk memo.
+    pub memo_hits: u64,
+    /// Lookups that walked the first-level CMT table.
+    pub memo_misses: u64,
+}
+
+impl TranslationStats {
+    /// Total translations through the cached path.
+    pub fn lookups(&self) -> u64 {
+        self.memo_hits + self.memo_misses
+    }
+
+    /// Adds another core's counters into this one.
+    pub fn merge(&mut self, other: TranslationStats) {
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    /// Exports the counters into `reg` under the `cmt.*` namespace.
+    pub fn export_into(&self, reg: &mut sdam_obs::Registry) {
+        reg.incr("cmt.lookups", self.lookups());
+        reg.incr("cmt.memo_hits", self.memo_hits);
+        reg.incr("cmt.memo_misses", self.memo_misses);
+    }
+}
+
 /// The PA→HA stage of the memory controller.
 ///
 /// * `Global` — one fixed [`AddressMapping`] for every address: the

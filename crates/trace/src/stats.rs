@@ -7,17 +7,23 @@
 //! caches will filter the traffic; reuse distance approximates the miss
 //! rate at any cache size (the classic stack-distance argument).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+
+use sdam_obs::CountHistogram;
 
 use crate::Trace;
 
 /// A histogram of line-granular strides (deltas between consecutive
 /// accesses of the same variable).
+///
+/// A thin trace-aware wrapper over [`sdam_obs::CountHistogram`] — the
+/// workspace-wide keyed-count type — which replaced this module's
+/// private `BTreeMap + total` pair (one of three divergent ad-hoc stat
+/// mechanisms the observability layer unified).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StrideHistogram {
     /// stride in lines (signed) → occurrences.
-    counts: BTreeMap<i64, u64>,
-    total: u64,
+    counts: CountHistogram,
 }
 
 impl StrideHistogram {
@@ -25,40 +31,36 @@ impl StrideHistogram {
     /// jumps are not strides).
     pub fn from_trace(trace: &Trace) -> Self {
         let mut last: HashMap<u32, u64> = HashMap::new();
-        let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
-        let mut total = 0u64;
+        let mut counts = CountHistogram::default();
         for a in trace.iter() {
             let line = (a.addr / 64) as i64;
             if let Some(prev) = last.insert(a.variable.0, line as u64) {
-                *counts.entry(line - prev as i64).or_insert(0) += 1;
-                total += 1;
+                counts.record(line - prev as i64);
             }
         }
-        StrideHistogram { counts, total }
+        StrideHistogram { counts }
     }
 
     /// Number of stride samples.
     pub fn samples(&self) -> u64 {
-        self.total
+        self.counts.total()
     }
 
-    /// The most frequent stride (in lines) and its share of samples.
+    /// The most frequent stride (in lines) and its share of samples
+    /// (ties resolve to the smaller stride).
     pub fn dominant(&self) -> Option<(i64, f64)> {
-        let (&stride, &count) = self.counts.iter().max_by_key(|&(_, &c)| c)?;
-        Some((stride, count as f64 / self.total as f64))
+        let stride = self.counts.mode()?;
+        Some((stride, self.counts.fraction(stride)))
     }
 
     /// The fraction of samples with the given stride.
     pub fn share_of(&self, stride_lines: i64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        *self.counts.get(&stride_lines).unwrap_or(&0) as f64 / self.total as f64
+        self.counts.fraction(stride_lines)
     }
 
     /// Iterates `(stride, count)` in stride order.
     pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
-        self.counts.iter().map(|(&s, &c)| (s, c))
+        self.counts.iter()
     }
 }
 

@@ -42,6 +42,42 @@ fn compare_is_identical_serial_and_parallel() {
 }
 
 #[test]
+fn metrics_snapshot_identical_serial_and_threaded() {
+    // The observability layer's determinism contract: the merged
+    // stable snapshot — every counter, every histogram bucket, and the
+    // event trace *in order* — is bit-identical between the serial
+    // driver and the channel-sharded one, for every thread count.
+    // (With the `obs` feature off all snapshots are empty and the
+    // comparison is trivially exact.)
+    let w = DataCopy::new(vec![1, 32]);
+    let configs = [
+        SystemConfig::BsBsm,
+        SystemConfig::SdmBsm,
+        SystemConfig::SdmBsmMl { clusters: 4 },
+    ];
+    let serial = pipeline::compare(&w, &configs, &serial_exp());
+    let reference = serial.metrics.stable_json();
+    for threads in [1usize, 2, 8] {
+        let mut exp = serial_exp();
+        exp.parallelism = Parallelism::Threads(threads);
+        let parallel = pipeline::compare(&w, &configs, &exp);
+        assert_eq!(
+            reference,
+            parallel.metrics.stable_json(),
+            "merged snapshot diverged at {threads} threads"
+        );
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(
+                s.metrics.stable_json(),
+                p.metrics.stable_json(),
+                "{}: per-run snapshot diverged at {threads} threads",
+                s.config
+            );
+        }
+    }
+}
+
+#[test]
 fn corun_is_identical_serial_and_parallel() {
     let a = DataCopy::with_threads(vec![1], 1);
     let b = DataCopy::with_threads(vec![32], 1);
