@@ -117,11 +117,13 @@ fn record_stage_times() {
     }
     let json = format!
 (
-        "{{\n  \"name\": \"staged-pipeline-phase-times\",\n  \"command\": \"cargo bench -p sdam-bench --bench pipeline\",\n  \"workload\": \"datacopy strides [1, 16], tiny scale\",\n  \"note\": \"one staged run per configuration on a shared StageCache: the first profiled configuration pays the profiling pass, later ones hit the cache (profile_ms ~ 0)\",\n  \"cache\": {{ \"profile_misses\": {}, \"profile_hits\": {}, \"selection_misses\": {}, \"selection_hits\": {} }},\n  \"stage_times\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"name\": \"staged-pipeline-phase-times\",\n  \"command\": \"cargo bench -p sdam-bench --bench pipeline\",\n  \"workload\": \"datacopy strides [1, 16], tiny scale\",\n  \"note\": \"one staged run per configuration on a shared StageCache: the first profiled configuration pays the profiling pass, later ones hit the cache (profile_ms ~ 0)\",\n  \"cache\": {{ \"profile_misses\": {}, \"profile_hits\": {}, \"selection_misses\": {}, \"selection_hits\": {}, \"embedding_misses\": {}, \"embedding_hits\": {} }},\n  \"stage_times\": [\n{}\n  ]\n}}\n",
         cache.profile_misses(),
         cache.profile_hits(),
         cache.selection_misses(),
         cache.selection_hits(),
+        cache.embedding_misses(),
+        cache.embedding_hits(),
         rows.join(",\n"),
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stages.json");

@@ -108,6 +108,8 @@ pub fn merge_sweep_metrics(results: &[RunResult], cache: &StageCache) -> Registr
     reg.incr("stage.profile_cache.misses", cache.profile_misses());
     reg.incr("stage.selection_cache.hits", cache.selection_hits());
     reg.incr("stage.selection_cache.misses", cache.selection_misses());
+    reg.incr("stage.embedding_cache.hits", cache.embedding_hits());
+    reg.incr("stage.embedding_cache.misses", cache.embedding_misses());
     reg
 }
 

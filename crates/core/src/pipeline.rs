@@ -284,9 +284,10 @@ pub fn try_run_corun_with_cache(
     merged.aggregate = sdam_mapping::BitFlipRateVector::mean(agg_members);
 
     let t0 = Instant::now();
-    let mix_key = selection_key(&format!("corun[{}]", keys.join("+")), config, exp);
+    let mix_pkey = format!("corun[{}]", keys.join("+"));
+    let mix_key = selection_key(&mix_pkey, config, exp);
     let out = cache.selection_or_try(&mix_key, || {
-        profiling::try_select_mappings(config, &merged, exp)
+        profiling::try_select_mappings_cached(config, &merged, exp, cache, &mix_pkey)
     })?;
     phases.select = t0.elapsed();
 

@@ -278,6 +278,33 @@ pub fn try_select_mappings(
     data: &ProfileData,
     exp: &Experiment,
 ) -> Result<SelectionOutcome, SdamError> {
+    select_impl(config, data, exp, None)
+}
+
+/// [`try_select_mappings`] with the trained DL clustering memoized in
+/// `cache` under [`crate::stage::embedding_key`] (built from
+/// `profile_key`). Identical results to the uncached path — a hit just
+/// skips retraining the autoencoder, which dominates DL selection cost.
+///
+/// # Errors
+///
+/// As [`try_select_mappings`].
+pub fn try_select_mappings_cached(
+    config: SystemConfig,
+    data: &ProfileData,
+    exp: &Experiment,
+    cache: &crate::stage::StageCache,
+    profile_key: &str,
+) -> Result<SelectionOutcome, SdamError> {
+    select_impl(config, data, exp, Some((cache, profile_key)))
+}
+
+fn select_impl(
+    config: SystemConfig,
+    data: &ProfileData,
+    exp: &Experiment,
+    dl_cache: Option<(&crate::stage::StageCache, &str)>,
+) -> Result<SelectionOutcome, SdamError> {
     let window_hi = exp.chunk_bits;
     let windowed = |bfrv: &BitFlipRateVector| {
         select::permutation_for_bfrv_windowed(bfrv, exp.geometry, window_hi)
@@ -334,18 +361,31 @@ pub fn try_select_mappings(
             if data.major.is_empty() {
                 return Err(SdamError::EmptyProfile);
             }
-            let traces: Vec<Vec<u64>> = data
-                .major
-                .iter()
-                .map(|v| data.pa_streams[v].clone())
-                .collect();
-            let dl = sdam_ml::dlkmeans::cluster_variables_dl(
-                &traces,
-                exp.geometry.addr_bits(),
-                clusters,
-                &exp.training,
-            );
-            cluster_selection(data, &dl.assignments, exp)
+            let train = || {
+                let traces: Vec<Vec<u64>> = data
+                    .major
+                    .iter()
+                    .map(|v| data.pa_streams[v].clone())
+                    .collect();
+                sdam_ml::dlkmeans::cluster_variables_dl_threaded(
+                    &traces,
+                    exp.geometry.addr_bits(),
+                    clusters,
+                    &exp.training,
+                    exp.parallelism.threads(),
+                )
+            };
+            let assignments = match dl_cache {
+                Some((cache, pkey)) => {
+                    let key = crate::stage::embedding_key(pkey, clusters, exp);
+                    cache
+                        .embedding_or_try(&key, || Ok(train()))?
+                        .assignments
+                        .clone()
+                }
+                None => train().assignments,
+            };
+            cluster_selection(data, &assignments, exp)
         }
     };
     Ok(SelectionOutcome {

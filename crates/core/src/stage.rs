@@ -64,6 +64,16 @@ pub fn selection_key(profile_key: &str, config: SystemConfig, exp: &Experiment) 
     format!("{profile_key}|cfg={config:?}|train={:?}", exp.training)
 }
 
+/// The content key under which a trained DL clustering is cached: the
+/// profile's key plus the training hyper-parameters and the cluster
+/// count — everything [`sdam_ml::dlkmeans::cluster_variables_dl`] is a
+/// deterministic function of. Narrower than [`selection_key`]: it omits
+/// the [`SystemConfig`], so any configuration that trains on the same
+/// profile with the same hyper-parameters shares the embedding.
+pub fn embedding_key(profile_key: &str, clusters: usize, exp: &Experiment) -> String {
+    format!("{profile_key}|train={:?}|k={clusters}", exp.training)
+}
+
 /// A content-keyed memo of the pipeline's expensive artifacts.
 ///
 /// Shared by reference across the per-configuration fan-out of
@@ -74,10 +84,13 @@ pub fn selection_key(profile_key: &str, config: SystemConfig, exp: &Experiment) 
 pub struct StageCache {
     profiles: Mutex<HashMap<String, Arc<ProfileData>>>,
     selections: Mutex<HashMap<String, Arc<SelectionOutcome>>>,
+    embeddings: Mutex<HashMap<String, Arc<sdam_ml::dlkmeans::DlClustering>>>,
     profile_hits: AtomicU64,
     profile_misses: AtomicU64,
     selection_hits: AtomicU64,
     selection_misses: AtomicU64,
+    embedding_hits: AtomicU64,
+    embedding_misses: AtomicU64,
 }
 
 impl StageCache {
@@ -138,6 +151,37 @@ impl StageCache {
         ))
     }
 
+    /// Returns the cached DL clustering for `key` (see
+    /// [`embedding_key`]), computing and inserting it on a miss (same
+    /// contract as [`StageCache::profile_or_try`]). Training the
+    /// autoencoder dominates DL selection cost, so memoizing the
+    /// clustering lets a sweep pay for training once per
+    /// (profile, hyper-parameters, k) triple.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error; nothing is cached on failure.
+    pub fn embedding_or_try<F>(
+        &self,
+        key: &str,
+        compute: F,
+    ) -> Result<Arc<sdam_ml::dlkmeans::DlClustering>, SdamError>
+    where
+        F: FnOnce() -> Result<sdam_ml::dlkmeans::DlClustering, SdamError>,
+    {
+        if let Some(e) = lock(&self.embeddings).get(key) {
+            self.embedding_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(e));
+        }
+        self.embedding_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(compute()?);
+        Ok(Arc::clone(
+            lock(&self.embeddings)
+                .entry(key.to_string())
+                .or_insert(computed),
+        ))
+    }
+
     /// Profile lookups served from the cache.
     pub fn profile_hits(&self) -> u64 {
         self.profile_hits.load(Ordering::Relaxed)
@@ -156,6 +200,16 @@ impl StageCache {
     /// Selection lookups that had to compute.
     pub fn selection_misses(&self) -> u64 {
         self.selection_misses.load(Ordering::Relaxed)
+    }
+
+    /// DL-clustering lookups served from the cache.
+    pub fn embedding_hits(&self) -> u64 {
+        self.embedding_hits.load(Ordering::Relaxed)
+    }
+
+    /// DL-clustering lookups that had to train.
+    pub fn embedding_misses(&self) -> u64 {
+        self.embedding_misses.load(Ordering::Relaxed)
     }
 }
 
@@ -297,9 +351,12 @@ impl Stage for SelectStage {
         let t0 = Instant::now();
         let outcome = match &ctx.profile {
             Some(data) if ctx.config.needs_profiling() => {
-                let key = selection_key(&profile_key(ctx.workload, ctx.exp), ctx.config, ctx.exp);
+                let pkey = profile_key(ctx.workload, ctx.exp);
+                let key = selection_key(&pkey, ctx.config, ctx.exp);
                 let out = ctx.cache.selection_or_try(&key, || {
-                    profiling::try_select_mappings(ctx.config, data, ctx.exp)
+                    profiling::try_select_mappings_cached(
+                        ctx.config, data, ctx.exp, ctx.cache, &pkey,
+                    )
                 })?;
                 ctx.learning_time = Some(out.learning_time);
                 (*out).clone()
@@ -484,6 +541,45 @@ mod tests {
             Arc::ptr_eq(&first, &second),
             "hit returns the same artifact"
         );
+    }
+
+    #[test]
+    fn embedding_key_narrower_than_selection_key() {
+        let exp = Experiment::quick();
+        let pkey = profile_key(&DataCopy::new(vec![1]), &exp);
+        let e4 = embedding_key(&pkey, 4, &exp);
+        let e2 = embedding_key(&pkey, 2, &exp);
+        assert_ne!(e4, e2, "different k must not share a trained model");
+        let mut exp2 = Experiment::quick();
+        exp2.training.seed += 1;
+        assert_ne!(
+            e4,
+            embedding_key(&pkey, 4, &exp2),
+            "different training seeds must not share a trained model"
+        );
+    }
+
+    #[test]
+    fn dl_selection_trains_once_per_profile_and_k() {
+        let cache = StageCache::new();
+        let exp = Experiment::quick();
+        let w = DataCopy::new(vec![1, 16]);
+        let data = profiling::try_profile_on_baseline(&w, &exp).unwrap();
+        let pkey = profile_key(&w, &exp);
+        let cfg = SystemConfig::SdmBsmDl { clusters: 2 };
+        let a = profiling::try_select_mappings_cached(cfg, &data, &exp, &cache, &pkey).unwrap();
+        assert_eq!(cache.embedding_misses(), 1);
+        assert_eq!(cache.embedding_hits(), 0);
+        let b = profiling::try_select_mappings_cached(cfg, &data, &exp, &cache, &pkey).unwrap();
+        assert_eq!(cache.embedding_misses(), 1, "second select retrained");
+        assert_eq!(cache.embedding_hits(), 1);
+        match (&a.selection, &b.selection) {
+            (
+                profiling::Selection::Sdam { assignment: x, .. },
+                profiling::Selection::Sdam { assignment: y, .. },
+            ) => assert_eq!(x, y, "cache hit changed the plan"),
+            _ => panic!("DL config must produce an SDAM plan"),
+        }
     }
 
     #[test]

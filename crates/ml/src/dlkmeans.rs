@@ -4,13 +4,28 @@
 //! [`LstmAutoencoder`] learns a clustering-friendly embedding; K-Means
 //! runs on the embeddings; training continues with the joint loss; the
 //! final clusters assign one address mapping per cluster.
+//!
+//! Two training loops implement the four phases:
+//!
+//! * [`cluster_variables_dl`] (and its explicit-thread-count twin
+//!   [`cluster_variables_dl_threaded`]) — the production path.
+//!   Duplicate windows are collapsed to one weighted sample each, both
+//!   training phases run weighted mini-batches through the batched
+//!   LSTM kernels, a deterministic patience rule stops each phase once
+//!   the joint loss plateaus, and per-variable embeddings are computed
+//!   batched (and reused verbatim for the final clustering when the
+//!   joint phase executed no optimizer step).
+//! * [`cluster_variables_dl_reference`] — the original per-step loop
+//!   (uniform window sampling, fixed step schedule, per-sample
+//!   kernels), preserved as the quality oracle: the bench suite
+//!   asserts both paths select the same cluster partition.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::autoencoder::{LstmAutoencoder, SeqSample};
+use crate::autoencoder::{LstmAutoencoder, MiniBatchItem, SeqSample};
 use crate::kmeans::{kmeans, Clustering, KMeansConfig};
 use crate::TrainingConfig;
 
@@ -44,10 +59,12 @@ impl DeltaVocab {
             "vocabulary must have room beyond the unknown slot"
         );
         let mut map = HashMap::new();
-        for s in streams {
+        // Once the vocabulary is full no further stream can add
+        // anything — short-circuit across streams, not just within one.
+        'streams: for s in streams {
             for &d in s {
                 if map.len() + 1 >= cap {
-                    break;
+                    break 'streams;
                 }
                 let next = map.len() + 1;
                 map.entry(d).or_insert(next);
@@ -125,28 +142,53 @@ fn windows_for(
     out
 }
 
-/// Runs the full DL-assisted K-Means pipeline over per-variable address
-/// traces (`traces[i]` is the ordered address stream of variable `i`).
-///
-/// Phases, following the paper: (1) train the autoencoder on
-/// reconstruction only; (2) K-Means on the embeddings; (3) continue
-/// training with the joint loss; (4) final K-Means.
-///
-/// Variables with fewer than three accesses produce no windows and are
-/// assigned to cluster 0.
-///
-/// # Panics
-///
-/// Panics if `traces` is empty, `k` is zero, or `addr_bits` is not in
-/// `1..=64`.
-pub fn cluster_variables_dl(
-    traces: &[Vec<u64>],
-    addr_bits: u32,
-    k: usize,
-    config: &TrainingConfig,
-) -> DlClustering {
+/// The shared setup of both training loops: vocabulary, per-variable
+/// windows, and the fixed BFRV feature block.
+struct DlProblem {
+    bits: usize,
+    var_windows: Vec<Vec<SeqSample>>,
+    bfrv_features: Vec<Vec<f64>>,
+    delta_vocab: usize,
+}
+
+/// Deterministic early stopping: stop once the loss has gone
+/// `patience` consecutive updates without beating its best value by at
+/// least `min_delta`. `patience == 0` disables the rule.
+struct EarlyStop {
+    best: f64,
+    bad: usize,
+    patience: usize,
+    min_delta: f64,
+}
+
+impl EarlyStop {
+    fn new(patience: usize, min_delta: f64) -> Self {
+        EarlyStop {
+            best: f64::INFINITY,
+            bad: 0,
+            patience,
+            min_delta,
+        }
+    }
+
+    /// Feeds one loss observation; returns `true` when training should
+    /// stop.
+    fn update(&mut self, loss: f64) -> bool {
+        if self.patience == 0 {
+            return false;
+        }
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.bad = 0;
+        } else {
+            self.bad += 1;
+        }
+        self.bad >= self.patience
+    }
+}
+
+fn build_problem(traces: &[Vec<u64>], addr_bits: u32, config: &TrainingConfig) -> DlProblem {
     assert!(!traces.is_empty(), "need at least one variable");
-    assert!(k > 0, "k must be positive");
     assert!((1..=64).contains(&addr_bits), "addr_bits must be 1..=64");
     config.validate();
     let bits = addr_bits as usize;
@@ -164,10 +206,6 @@ pub fn cluster_variables_dl(
         .enumerate()
         .map(|(i, t)| windows_for(t, i, &vocab, bits, config.seq_len, max_windows))
         .collect();
-    let all: Vec<&SeqSample> = var_windows.iter().flatten().collect();
-
-    let mut ae = LstmAutoencoder::new(vocab.len().max(2), traces.len(), bits, config);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xd1);
 
     // Per-variable bit-flip-rate features, appended to the learned
     // embedding before clustering. The paper clusters on the embedding
@@ -190,10 +228,257 @@ pub fn cluster_variables_dl(
         })
         .collect();
 
+    DlProblem {
+        bits,
+        var_windows,
+        bfrv_features,
+        delta_vocab: vocab.len().max(2),
+    }
+}
+
+/// Collapses duplicate windows into one weighted sample each,
+/// preserving first-seen order. Stride-dominated traces repeat the same
+/// Δ window over and over; training each distinct window once with its
+/// multiplicity as weight is mathematically the same objective at a
+/// fraction of the flops.
+fn dedup_windows(ws: &[SeqSample]) -> Vec<(SeqSample, f64)> {
+    let mut index: HashMap<(Vec<usize>, Vec<u64>), usize> = HashMap::new();
+    let mut out: Vec<(SeqSample, f64)> = Vec::new();
+    for w in ws {
+        let masks: Vec<u64> = w
+            .delta_bits
+            .iter()
+            .map(|bits| {
+                bits.iter()
+                    .enumerate()
+                    .fold(0u64, |m, (i, &b)| if b != 0.0 { m | (1 << i) } else { m })
+            })
+            .collect();
+        let key = (w.delta_ids.clone(), masks);
+        match index.get(&key) {
+            Some(&i) => out[i].1 += 1.0,
+            None => {
+                index.insert(key, out.len());
+                out.push((w.clone(), 1.0));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full DL-assisted K-Means pipeline over per-variable address
+/// traces (`traces[i]` is the ordered address stream of variable `i`).
+///
+/// Phases, following the paper: (1) train the autoencoder on
+/// reconstruction only; (2) K-Means on the embeddings; (3) continue
+/// training with the joint loss; (4) final K-Means. Each training phase
+/// runs weighted mini-batches of deduplicated windows through the
+/// batched kernels and stops early once the joint loss plateaus (see
+/// [`TrainingConfig::patience`]); `config.steps` stays the hard cap.
+///
+/// Variables with fewer than three accesses produce no windows and are
+/// assigned to cluster 0.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty, `k` is zero, or `addr_bits` is not in
+/// `1..=64`.
+pub fn cluster_variables_dl(
+    traces: &[Vec<u64>],
+    addr_bits: u32,
+    k: usize,
+    config: &TrainingConfig,
+) -> DlClustering {
+    cluster_variables_dl_threaded(traces, addr_bits, k, config, 1)
+}
+
+/// [`cluster_variables_dl`] with an explicit worker-thread count for
+/// the mini-batch fan-out. Results are bit-identical for every
+/// `threads` value (gradients reduce in fixed input order).
+///
+/// # Panics
+///
+/// As [`cluster_variables_dl`].
+pub fn cluster_variables_dl_threaded(
+    traces: &[Vec<u64>],
+    addr_bits: u32,
+    k: usize,
+    config: &TrainingConfig,
+    threads: usize,
+) -> DlClustering {
+    assert!(k > 0, "k must be positive");
+    let problem = build_problem(traces, addr_bits, config);
+
+    // Deduplicate windows per variable: `uniq[i]` carries `weight[i]`
+    // duplicates and belongs to variable `owner[i]`.
+    let mut uniq: Vec<SeqSample> = Vec::new();
+    let mut weight: Vec<f64> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    // Window ranges per variable, for the per-variable embedding mean.
+    let mut var_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    for (vid, ws) in problem.var_windows.iter().enumerate() {
+        let start = uniq.len();
+        for (w, mult) in dedup_windows(ws) {
+            uniq.push(w);
+            weight.push(mult);
+            owner.push(vid);
+        }
+        var_ranges.push(start..uniq.len());
+    }
+
+    let mut ae = LstmAutoencoder::new(problem.delta_vocab, traces.len(), problem.bits, config);
+
+    let embed_vars = |ae: &LstmAutoencoder| -> Vec<Vec<f64>> {
+        let refs: Vec<&SeqSample> = uniq.iter().collect();
+        let zs = ae.embed_batch(&refs, threads);
+        var_ranges
+            .iter()
+            .zip(&problem.bfrv_features)
+            .map(|(range, bfrv)| {
+                let mut acc = vec![0.0; ae.embedding_dim()];
+                if !range.is_empty() {
+                    let mut wsum = 0.0;
+                    for i in range.clone() {
+                        wsum += weight[i];
+                        for (a, v) in acc.iter_mut().zip(&zs[i]) {
+                            *a += weight[i] * v;
+                        }
+                    }
+                    for a in &mut acc {
+                        *a /= wsum;
+                    }
+                }
+                // Hybrid representation: embedding ⊕ BFRV.
+                acc.extend(bfrv.iter().map(|r| r * 2.0));
+                acc
+            })
+            .collect()
+    };
+
+    let kcfg = KMeansConfig {
+        k,
+        seed: config.seed,
+        ..KMeansConfig::default()
+    };
+
+    let mut steps_done = 0usize;
+    let mut last_loss = 0.0;
+    let mut loss_curve = Vec::new();
+    // Mini-batches walk the deduplicated windows round-robin — no
+    // sampling RNG; coverage of every distinct window per cycle.
+    const BATCH: usize = 4;
+    let mut phase2_embeddings = None;
+
+    if !uniq.is_empty() {
+        let batch_at = |step: usize| -> Vec<usize> {
+            (0..BATCH.min(uniq.len()))
+                .map(|j| (step * BATCH + j) % uniq.len())
+                .collect()
+        };
+        // Phase 1: reconstruction pre-training.
+        let phase1_cap = config.steps / 2;
+        let mut stop = EarlyStop::new(config.patience, config.min_delta);
+        for step in 0..phase1_cap {
+            let items: Vec<MiniBatchItem<'_>> = batch_at(step)
+                .into_iter()
+                .map(|i| MiniBatchItem {
+                    sample: &uniq[i],
+                    weight: weight[i],
+                    target: None,
+                })
+                .collect();
+            let l = ae.train_minibatch(&items, config.learning_rate, threads);
+            last_loss = l.reconstruct;
+            if steps_done.is_multiple_of(32) {
+                loss_curve.push(last_loss);
+            }
+            steps_done += 1;
+            if stop.update(l.total(config.lambda)) {
+                break;
+            }
+        }
+        // Phase 2: initial clustering on embeddings.
+        let embeddings = embed_vars(&ae);
+        let clustering = kmeans(&embeddings, &kcfg);
+        phase2_embeddings = Some(embeddings);
+        // Phase 3: joint training against assigned centroids. Pull the
+        // embedding toward the embedding-part of the centroid (the
+        // BFRV features are fixed, not trainable).
+        let dim = ae.embedding_dim();
+        let phase3_cap = config.steps.saturating_sub(phase1_cap);
+        let mut stop = EarlyStop::new(config.patience, config.min_delta);
+        let mut phase3_steps = 0usize;
+        for step in 0..phase3_cap {
+            let items: Vec<MiniBatchItem<'_>> = batch_at(step)
+                .into_iter()
+                .map(|i| MiniBatchItem {
+                    sample: &uniq[i],
+                    weight: weight[i],
+                    target: Some(&clustering.centroids[clustering.assignments[owner[i]]][..dim]),
+                })
+                .collect();
+            let l = ae.train_minibatch(&items, config.learning_rate, threads);
+            last_loss = l.reconstruct;
+            if steps_done.is_multiple_of(32) {
+                loss_curve.push(last_loss);
+            }
+            steps_done += 1;
+            phase3_steps += 1;
+            if stop.update(l.total(config.lambda)) {
+                break;
+            }
+        }
+        if phase3_steps > 0 {
+            phase2_embeddings = None; // parameters moved; re-encode
+        }
+    }
+
+    // Phase 4: final clustering — reusing the phase-2 embeddings when
+    // the joint phase did not move the parameters.
+    let embeddings = match phase2_embeddings {
+        Some(e) => e,
+        None => embed_vars(&ae),
+    };
+    let clustering = kmeans(&embeddings, &kcfg);
+    DlClustering {
+        assignments: clustering.assignments.clone(),
+        embeddings,
+        clustering,
+        final_reconstruction_loss: last_loss,
+        train_steps: steps_done,
+        loss_curve,
+    }
+}
+
+/// The original per-step training loop, preserved as the reference
+/// oracle for the batched path: uniform window sampling from a seeded
+/// RNG, the full fixed `config.steps` schedule (no early stopping, no
+/// deduplication), per-sample forward/backward kernels, and per-window
+/// encoding in `embed_vars`. Slower by orders of magnitude on
+/// stride-dominated traces; use [`cluster_variables_dl`] outside of
+/// equivalence tests and benches.
+///
+/// # Panics
+///
+/// As [`cluster_variables_dl`].
+pub fn cluster_variables_dl_reference(
+    traces: &[Vec<u64>],
+    addr_bits: u32,
+    k: usize,
+    config: &TrainingConfig,
+) -> DlClustering {
+    assert!(k > 0, "k must be positive");
+    let problem = build_problem(traces, addr_bits, config);
+    let var_windows = &problem.var_windows;
+    let all: Vec<&SeqSample> = var_windows.iter().flatten().collect();
+
+    let mut ae = LstmAutoencoder::new(problem.delta_vocab, traces.len(), problem.bits, config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xd1);
+
     let embed_vars = |ae: &LstmAutoencoder| -> Vec<Vec<f64>> {
         var_windows
             .iter()
-            .zip(&bfrv_features)
+            .zip(&problem.bfrv_features)
             .map(|(ws, bfrv)| {
                 let mut acc = vec![0.0; ae.embedding_dim()];
                 if !ws.is_empty() {
@@ -303,6 +588,29 @@ mod tests {
     }
 
     #[test]
+    fn vocab_caps_across_multiple_streams() {
+        let a = vec![1u64, 2];
+        let b = vec![3u64, 4, 5];
+        let v = DeltaVocab::build([a.as_slice(), b.as_slice()], 4);
+        assert_eq!(v.len(), 4); // UNK + 1, 2, 3
+        assert_ne!(v.id_of(3), 0);
+        assert_eq!(v.id_of(4), 0);
+        assert_eq!(v.id_of(5), 0);
+    }
+
+    #[test]
+    fn vocab_cap_short_circuits_across_streams() {
+        // A full vocabulary must stop consuming streams entirely: the
+        // second stream here panics if it is ever produced.
+        let s1: Vec<u64> = (1..=10).collect();
+        let poisoned = std::iter::once(s1.as_slice()).chain(std::iter::once_with(|| -> &[u64] {
+            panic!("second stream iterated past the cap")
+        }));
+        let v = DeltaVocab::build(poisoned, 4);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
     fn same_stride_variables_cluster_together() {
         // Four variables: two stride-1, two stride-16 — should form two
         // clusters that separate the strides.
@@ -325,10 +633,94 @@ mod tests {
     }
 
     #[test]
+    fn early_stop_patience_rule() {
+        let mut s = EarlyStop::new(2, 0.1);
+        assert!(!s.update(1.0)); // best = 1.0
+        assert!(!s.update(0.95)); // within min_delta: bad = 1
+        assert!(s.update(0.99)); // bad = 2 -> stop
+        let mut s = EarlyStop::new(2, 0.1);
+        assert!(!s.update(1.0));
+        assert!(!s.update(0.8)); // real improvement resets
+        assert!(!s.update(0.79));
+        assert!(s.update(0.78));
+        // patience == 0 never stops.
+        let mut s = EarlyStop::new(0, 0.1);
+        for _ in 0..100 {
+            assert!(!s.update(1.0));
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_repeated_windows() {
+        // A ping-pong trace has one constant XOR Δ: every window is
+        // identical, so dedup must collapse them all into one sample
+        // carrying the full multiplicity.
+        let t: Vec<u64> = (0..200u64).map(|i| (i % 2) * 64).collect();
+        let cfg = TrainingConfig::laptop();
+        let deltas_v: Vec<Vec<u64>> = vec![deltas(&t)];
+        let vocab = DeltaVocab::build(deltas_v.iter().map(|v| v.as_slice()), cfg.delta_vocab_cap);
+        let ws = windows_for(&t, 0, &vocab, 33, cfg.seq_len, 8);
+        assert!(ws.len() > 1);
+        let uniq = dedup_windows(&ws);
+        assert_eq!(uniq.len(), 1, "identical windows not collapsed");
+        assert_eq!(uniq[0].1, ws.len() as f64, "multiplicity lost");
+        // Distinct windows stay distinct.
+        let t2: Vec<u64> = (0..40u64).map(|i| i * i * 64).collect();
+        let ws2 = windows_for(&t2, 0, &vocab, 33, cfg.seq_len, 8);
+        let uniq2 = dedup_windows(&ws2);
+        assert!(uniq2.len() > 1, "distinct windows merged");
+        let total: f64 = uniq2.iter().map(|(_, w)| w).sum();
+        assert_eq!(total, ws2.len() as f64);
+    }
+
+    #[test]
+    fn threaded_matches_serial_bit_identical() {
+        let traces = vec![
+            stride_trace(1, 150),
+            stride_trace(8, 150),
+            (0..60u64).map(|i| i * i * 64).collect(),
+        ];
+        let cfg = TrainingConfig {
+            steps: 60,
+            ..TrainingConfig::laptop()
+        };
+        let serial = cluster_variables_dl_threaded(&traces, 33, 2, &cfg, 1);
+        for threads in [2, 4] {
+            let par = cluster_variables_dl_threaded(&traces, 33, 2, &cfg, threads);
+            assert_eq!(serial.assignments, par.assignments, "threads={threads}");
+            assert_eq!(serial.embeddings, par.embeddings, "threads={threads}");
+            assert_eq!(serial.loss_curve, par.loss_curve, "threads={threads}");
+            assert_eq!(serial.train_steps, par.train_steps, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reference_path_separates_strides() {
+        let traces = vec![
+            stride_trace(1, 200),
+            stride_trace(1, 200),
+            stride_trace(16, 200),
+            stride_trace(16, 200),
+        ];
+        let cfg = TrainingConfig {
+            steps: 200,
+            ..TrainingConfig::laptop()
+        };
+        let r = cluster_variables_dl_reference(&traces, 33, 2, &cfg);
+        assert_eq!(r.assignments[0], r.assignments[1], "stride-1 pair split");
+        assert_eq!(r.assignments[2], r.assignments[3], "stride-16 pair split");
+        assert_ne!(r.assignments[0], r.assignments[2], "strides merged");
+        assert_eq!(r.train_steps, 200, "reference must run the full schedule");
+    }
+
+    #[test]
     fn loss_curve_trends_downward() {
         let traces = vec![stride_trace(1, 300), stride_trace(16, 300)];
+        // patience: 0 — this test needs the full fixed schedule so the
+        // curve has enough samples to compare head vs tail.
         let cfg = TrainingConfig {
             steps: 640,
+            patience: 0,
             ..TrainingConfig::laptop()
         };
         let r = cluster_variables_dl(&traces, 33, 2, &cfg);

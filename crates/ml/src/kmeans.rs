@@ -93,31 +93,7 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
             new_loss += d;
         }
         // Update step.
-        let mut sums = vec![vec![0.0; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (p, &a) in points.iter().zip(&assignments) {
-            counts[a] += 1;
-            for (s, v) in sums[a].iter_mut().zip(p) {
-                *s += v;
-            }
-        }
-        for c in 0..k {
-            if counts[c] == 0 {
-                // Re-seed an empty cluster on the farthest point.
-                let far = (0..points.len())
-                    .max_by(|&a, &b| {
-                        sq_dist(&points[a], &centroids[assignments[a]])
-                            .partial_cmp(&sq_dist(&points[b], &centroids[assignments[b]]))
-                            .expect("finite distances")
-                    })
-                    .expect("non-empty points");
-                centroids[c] = points[far].clone();
-            } else {
-                for (j, s) in sums[c].iter().enumerate() {
-                    centroids[c][j] = s / counts[c] as f64;
-                }
-            }
-        }
+        update_centroids(points, &assignments, &mut centroids);
         if loss - new_loss < config.tolerance {
             loss = new_loss;
             break;
@@ -182,6 +158,46 @@ pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Option<f64> {
         }
     }
     (counted > 0).then(|| total / counted as f64)
+}
+
+/// One Lloyd update step: each non-empty cluster's centroid moves to
+/// the mean of its members; each *empty* cluster is re-seeded on the
+/// farthest point from its current centroid, with points already used
+/// as re-seeds this iteration excluded so two empty clusters never
+/// collapse onto the same point (which would leave them duplicated —
+/// and one of them empty — forever after).
+fn update_centroids(points: &[Vec<f64>], assignments: &[usize], centroids: &mut [Vec<f64>]) {
+    let dim = points[0].len();
+    let k = centroids.len();
+    let mut sums = vec![vec![0.0; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        counts[a] += 1;
+        for (s, v) in sums[a].iter_mut().zip(p) {
+            *s += v;
+        }
+    }
+    let mut reseeded: Vec<usize> = Vec::new();
+    for c in 0..k {
+        if counts[c] == 0 {
+            // At most k-1 clusters can be empty (every point is
+            // assigned somewhere), so an unused point always exists.
+            let far = (0..points.len())
+                .filter(|i| !reseeded.contains(i))
+                .max_by(|&a, &b| {
+                    sq_dist(&points[a], &centroids[assignments[a]])
+                        .partial_cmp(&sq_dist(&points[b], &centroids[assignments[b]]))
+                        .expect("finite distances")
+                })
+                .expect("non-empty points");
+            centroids[c] = points[far].clone();
+            reseeded.push(far);
+        } else {
+            for (j, s) in sums[c].iter().enumerate() {
+                centroids[c][j] = s / counts[c] as f64;
+            }
+        }
+    }
 }
 
 /// k-means++ seeding: first centroid uniform, then each next centroid
@@ -350,6 +366,24 @@ mod tests {
         let one = vec![0usize; 10];
         assert_eq!(silhouette(&pts, &one), None);
         assert_eq!(silhouette(&[], &[]), None);
+    }
+
+    #[test]
+    fn empty_clusters_reseed_on_distinct_points() {
+        // All four points sit in cluster 0; clusters 1 and 2 are empty
+        // and must re-seed on two *different* points (the old code gave
+        // both the same farthest point, leaving duplicate centroids).
+        let points = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]];
+        let assignments = vec![0usize, 0, 0, 0];
+        let mut centroids = vec![vec![0.0], vec![100.0], vec![200.0]];
+        update_centroids(&points, &assignments, &mut centroids);
+        // Cluster 0 moves to the member mean (3.25); the empties grab
+        // the farthest point (10.0) and then the farthest *unused* one
+        // (0.0) — not 10.0 twice.
+        assert_eq!(centroids[0], vec![3.25]);
+        assert_eq!(centroids[1], vec![10.0]);
+        assert_eq!(centroids[2], vec![0.0]);
+        assert_ne!(centroids[1], centroids[2], "duplicate reseed");
     }
 
     #[test]

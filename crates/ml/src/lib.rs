@@ -42,6 +42,7 @@ pub mod kmeans;
 pub mod linalg;
 pub mod lstm;
 pub mod optim;
+pub mod par;
 
 pub use config::{TrainingConfig, TrainingError};
 pub use kmeans::{kmeans, silhouette, Clustering, KMeansConfig};

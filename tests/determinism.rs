@@ -18,11 +18,17 @@ fn serial_exp() -> Experiment {
 
 #[test]
 fn compare_is_identical_serial_and_parallel() {
+    // The DL configuration is the strongest case: under Threads(4) the
+    // autoencoder's mini-batch forward/backward fans out across
+    // workers, and the reduced gradients (fixed input order) must leave
+    // the selection — and hence the whole report — bit-identical to the
+    // serial run.
     let w = DataCopy::new(vec![1, 32]);
     let configs = [
         SystemConfig::BsBsm,
         SystemConfig::SdmBsm,
         SystemConfig::SdmBsmMl { clusters: 4 },
+        SystemConfig::SdmBsmDl { clusters: 4 },
     ];
     let serial = pipeline::compare(&w, &configs, &serial_exp());
     let mut exp = serial_exp();
@@ -54,6 +60,7 @@ fn metrics_snapshot_identical_serial_and_threaded() {
         SystemConfig::BsBsm,
         SystemConfig::SdmBsm,
         SystemConfig::SdmBsmMl { clusters: 4 },
+        SystemConfig::SdmBsmDl { clusters: 4 },
     ];
     let serial = pipeline::compare(&w, &configs, &serial_exp());
     let reference = serial.metrics.stable_json();

@@ -1,14 +1,71 @@
-//! Property-based tests for the learning layer: K-Means invariants and
-//! the SDAM system's allocation invariant under random programs.
+//! Property-based tests for the learning layer: K-Means invariants,
+//! batched-kernel ≡ per-sample-oracle equivalences for the DL training
+//! path, and the SDAM system's allocation invariant under random
+//! programs.
 
 use proptest::prelude::*;
 use sdam::SdamSystem;
 use sdam_hbm::Geometry;
 use sdam_mem::VirtAddr;
+use sdam_ml::autoencoder::{LstmAutoencoder, MiniBatchItem, SeqSample};
 use sdam_ml::kmeans::{kmeans, KMeansConfig};
+use sdam_ml::linalg::Mat;
+use sdam_ml::TrainingConfig;
 
 fn points(dim: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, dim..=dim), 1..n)
+}
+
+const BITS: usize = 5;
+const DELTA_VOCAB: usize = 7;
+const VID_VOCAB: usize = 3;
+
+/// A tiny but multi-layer autoencoder configuration for equivalence
+/// properties (dims chosen so tests stay sub-second).
+fn tiny_cfg(seed: u64) -> TrainingConfig {
+    TrainingConfig {
+        hidden_dim: 6,
+        layers: 2,
+        embedding_dim: 4,
+        steps: 4,
+        seq_len: 4,
+        learning_rate: 0.01,
+        lambda: 0.01,
+        delta_vocab_cap: DELTA_VOCAB,
+        seed,
+        patience: 0,
+        min_delta: 0.0,
+    }
+}
+
+/// A random `(Δ, VID)` training window of length 2..=5, derived
+/// deterministically from a vector of random words (the shimmed
+/// proptest has no flat-map, so each word encodes one step).
+fn seq_sample() -> impl Strategy<Value = SeqSample> {
+    proptest::collection::vec(any::<u64>(), 2..=5).prop_map(|words| SeqSample {
+        delta_ids: words
+            .iter()
+            .map(|&w| (w % DELTA_VOCAB as u64) as usize)
+            .collect(),
+        vid_ids: words
+            .iter()
+            .map(|&w| ((w >> 8) % VID_VOCAB as u64) as usize)
+            .collect(),
+        delta_bits: words
+            .iter()
+            .map(|&w| (0..BITS).map(|b| ((w >> (16 + b)) & 1) as f64).collect())
+            .collect(),
+    })
+}
+
+/// A `rows × cols` matrix with entries in (-2, 2) drawn from `rng`.
+fn rand_mat(rows: usize, cols: usize, rng: &mut rand::rngs::StdRng) -> Mat {
+    use rand::Rng as _;
+    Mat::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+    )
 }
 
 proptest! {
@@ -48,6 +105,107 @@ proptest! {
         let lo = fwd.loss.min(bwd.loss);
         let hi = fwd.loss.max(bwd.loss);
         prop_assert!(hi <= lo * 4.0 + 1e-6, "losses diverged: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn matmul_columns_bit_identical_to_matvec(
+        m in 1usize..6, k in 1usize..6, n in 1usize..70, seed in 0u64..1024,
+    ) {
+        // The batched product must be column-for-column *bit-identical*
+        // to the matvec oracle: the DL fast path's determinism proof
+        // rests on this. n ranges past the matmul tile width so tile
+        // boundaries are exercised.
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = rand_mat(m, k, &mut rng);
+        let b = rand_mat(k, n, &mut rng);
+        let c = a.matmul(&b);
+        for j in 0..n {
+            prop_assert_eq!(c.col_to_vec(j), a.matvec(&b.col_to_vec(j)), "column {} diverged", j);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_columns_bit_identical_to_matvec_t(
+        m in 1usize..6, k in 1usize..6, n in 1usize..20, seed in 0u64..1024,
+    ) {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = rand_mat(k, m, &mut rng);
+        let b = rand_mat(k, n, &mut rng);
+        let c = a.matmul_tn(&b);
+        for j in 0..n {
+            prop_assert_eq!(c.col_to_vec(j), a.matvec_t(&b.col_to_vec(j)), "column {} diverged", j);
+        }
+    }
+
+    #[test]
+    fn embed_batch_matches_per_sample_embed(
+        samples in proptest::collection::vec(seq_sample(), 1..8),
+        seed in 0u64..32,
+    ) {
+        // The batched encoder and the per-sample oracle differ only in
+        // fp association (split vs concatenated weight matvec), so they
+        // agree to tight tolerance on every sample.
+        let ae = LstmAutoencoder::new(DELTA_VOCAB, VID_VOCAB, BITS, &tiny_cfg(seed));
+        let refs: Vec<&SeqSample> = samples.iter().collect();
+        let batched = ae.embed_batch(&refs, 1);
+        for (s, z) in samples.iter().zip(&batched) {
+            let oracle = ae.embed(s);
+            prop_assert_eq!(z.len(), oracle.len());
+            for (a, b) in z.iter().zip(&oracle) {
+                prop_assert!((a - b).abs() < 1e-9, "batched {} vs oracle {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn minibatch_of_one_matches_train_step(
+        sample in seq_sample(),
+        seed in 0u64..32,
+    ) {
+        // A weighted mini-batch of one sample is the same optimizer
+        // step as the scalar path up to fp reassociation (the batched
+        // kernels split the gate weights that the scalar path applies
+        // as one concatenated matvec) — so tight tolerance, not
+        // bit-equality. Bit-exactness across *thread counts* is the
+        // separate property below.
+        let cfg = tiny_cfg(seed);
+        let mut a = LstmAutoencoder::new(DELTA_VOCAB, VID_VOCAB, BITS, &cfg);
+        let mut b = a.clone();
+        let la = a.train_step(&sample, None, cfg.learning_rate);
+        let lb = b.train_minibatch(
+            &[MiniBatchItem { sample: &sample, weight: 1.0, target: None }],
+            cfg.learning_rate,
+            1,
+        );
+        prop_assert!((la.reconstruct - lb.reconstruct).abs() < 1e-9);
+        prop_assert!((la.cluster - lb.cluster).abs() < 1e-9);
+        for (x, y) in a.embed(&sample).iter().zip(b.embed(&sample)) {
+            prop_assert!((x - y).abs() < 1e-9, "parameters diverged: {} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn minibatch_bit_identical_across_thread_counts(
+        samples in proptest::collection::vec(seq_sample(), 2..9),
+        seed in 0u64..32,
+    ) {
+        // Gradients reduce in input order regardless of which worker
+        // computed them, so the fan-out must be invisible bit-for-bit.
+        let cfg = tiny_cfg(seed);
+        let items: Vec<MiniBatchItem<'_>> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| MiniBatchItem { sample: s, weight: 1.0 + i as f64, target: None })
+            .collect();
+        let mut serial = LstmAutoencoder::new(DELTA_VOCAB, VID_VOCAB, BITS, &cfg);
+        let mut threaded = serial.clone();
+        let ls = serial.train_minibatch(&items, cfg.learning_rate, 1);
+        let lt = threaded.train_minibatch(&items, cfg.learning_rate, 3);
+        prop_assert_eq!(ls.reconstruct, lt.reconstruct);
+        prop_assert_eq!(ls.cluster, lt.cluster);
+        for s in &samples {
+            prop_assert_eq!(serial.embed(s), threaded.embed(s));
+        }
     }
 
     #[test]
