@@ -12,9 +12,16 @@
 //!   requests, row hits are preferred, otherwise the oldest is served.
 //!   This is what real memory controllers (and the paper's Xilinx HBM
 //!   controller) approximate.
+//!
+//! The batch path stores pending requests in a struct-of-arrays
+//! [`RequestArena`] and drains them with reusable
+//! [`crate::arena::DrainScratch`] state, so a steady-state push/drain
+//! cycle performs no allocation at all (see the `arena` module docs for
+//! the column layout and index-link invariants). The definitional
+//! linear-scan scheduler is preserved as
+//! [`ChannelSim::drain_reference`], the golden-equivalence oracle.
 
-use std::collections::{HashMap, VecDeque};
-
+use crate::arena::{DrainScratch, RequestArena, NIL};
 use crate::bank::{BankState, RowOutcome};
 use crate::stats::ChannelStats;
 use crate::{Cycle, DecodedAddr, Timing};
@@ -24,7 +31,8 @@ use crate::{Cycle, DecodedAddr, Timing};
 pub struct ChannelSim {
     banks: Vec<BankState>,
     bus_free: Cycle,
-    pending: VecDeque<(DecodedAddr, Cycle)>,
+    pending: RequestArena,
+    scratch: DrainScratch,
     stats: ChannelStats,
     /// Next refresh boundary (when the timing enables refresh).
     next_refresh: Cycle,
@@ -45,7 +53,8 @@ impl ChannelSim {
         ChannelSim {
             banks: vec![BankState::new(); num_banks],
             bus_free: 0,
-            pending: VecDeque::new(),
+            pending: RequestArena::new(),
+            scratch: DrainScratch::default(),
             stats: ChannelStats::default(),
             next_refresh: 0,
             last_was_write: false,
@@ -65,7 +74,7 @@ impl ChannelSim {
         arrival: Cycle,
         timing: &Timing,
     ) -> Cycle {
-        self.service_in_order_rw(addr, false, arrival, timing)
+        self.service_core(addr.bank as usize, addr.row, false, arrival, timing)
     }
 
     /// [`ChannelSim::service_in_order`] with an explicit data direction:
@@ -82,9 +91,25 @@ impl ChannelSim {
         arrival: Cycle,
         timing: &Timing,
     ) -> Cycle {
-        self.bank_requests[addr.bank as usize] += 1;
-        let bank = &mut self.banks[addr.bank as usize];
-        let (data_ready, outcome) = bank.access(addr.row, arrival, timing);
+        self.service_core(addr.bank as usize, addr.row, is_write, arrival, timing)
+    }
+
+    /// The one service path every discipline funnels through: bank
+    /// access, bus arbitration (with the write→read turnaround), refresh
+    /// stalls, and stats recording. Taking the request as plain columns
+    /// (`bank`, `row`, ...) instead of a [`DecodedAddr`] lets the arena
+    /// drain feed it straight from its column slices.
+    #[inline]
+    fn service_core(
+        &mut self,
+        bank: usize,
+        row: u64,
+        is_write: bool,
+        arrival: Cycle,
+        timing: &Timing,
+    ) -> Cycle {
+        self.bank_requests[bank] += 1;
+        let (data_ready, outcome) = self.banks[bank].access(row, arrival, timing);
         let mut start = data_ready.max(self.bus_free);
         // Only the write→read direction pays tWTR (writes are posted;
         // the constraint exists because read data follows write data on
@@ -124,14 +149,29 @@ impl ChannelSim {
         completion
     }
 
-    /// Queues a request for batch (FR-FCFS) service.
+    /// Queues a read request for batch (FR-FCFS) service.
+    #[inline]
     pub fn push(&mut self, addr: DecodedAddr, arrival: Cycle) {
-        self.pending.push_back((addr, arrival));
+        self.pending.push(addr, false, arrival);
+    }
+
+    /// Queues a request with an explicit data direction; writes drained
+    /// later pay the same turnaround rules as
+    /// [`ChannelSim::service_in_order_rw`].
+    #[inline]
+    pub fn push_rw(&mut self, addr: DecodedAddr, is_write: bool, arrival: Cycle) {
+        self.pending.push(addr, is_write, arrival);
     }
 
     /// Number of requests awaiting service.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Reserves queue room for `additional` more pushes (a pure
+    /// performance hint — the queue grows on demand regardless).
+    pub fn reserve_pending(&mut self, additional: usize) {
+        self.pending.reserve(additional);
     }
 
     /// Drains the pending queue with a bounded FR-FCFS reorder window,
@@ -142,125 +182,259 @@ impl ChannelSim {
     /// (first-ready, first-come-first-served). `window == 1` degenerates
     /// to in-order service.
     ///
-    /// The pick is O(1) amortized in the queue length: requests are
-    /// indexed per (bank, row) at drain entry, a served request leaves a
-    /// tombstone instead of shifting the queue, and the row-hit
-    /// candidate is the minimum over the banks' open-row queue heads.
-    /// The pick order — and therefore every statistic — is identical to
-    /// the linear-scan [`ChannelSim::drain_reference`], which is kept as
-    /// the golden-equivalence oracle.
+    /// The pick is O(1) amortized in the queue length and the drain as a
+    /// whole allocates nothing once the arena and scratch are warm:
+    /// requests live in struct-of-arrays columns, the per-`(bank, row)`
+    /// arrival lists are intrusive index links threaded through a single
+    /// `u32` column, the row index is a generation-stamped
+    /// open-addressing table, and a served request leaves a tombstone
+    /// instead of shifting the queue. The pick order — and therefore
+    /// every statistic — is identical to the linear-scan
+    /// [`ChannelSim::drain_reference`], which is kept as the
+    /// golden-equivalence oracle.
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
     pub fn drain(&mut self, window: usize, timing: &Timing) -> Cycle {
-        assert!(window > 0, "reorder window must be >= 1");
-        let mut last = 0;
-        if window == 1 {
-            // Degenerate in-order service: no reordering possible.
-            while let Some((addr, arrival)) = self.pending.pop_front() {
-                last = self.service_in_order(addr, arrival, timing);
-            }
-            return last;
-        }
-        let reqs: Vec<(DecodedAddr, Cycle)> = self.pending.drain(..).collect();
-        let n = reqs.len();
-        // Arrival-ordered request indices per (bank, row): the head of
-        // the queue for a bank's currently open row is that bank's
-        // oldest row hit.
-        let mut by_row: Vec<HashMap<u64, VecDeque<usize>>> = vec![HashMap::new(); self.banks.len()];
-        for (i, (a, _)) in reqs.iter().enumerate() {
-            by_row[a.bank as usize]
-                .entry(a.row)
-                .or_default()
-                .push_back(i);
-        }
-        let mut served = vec![false; n];
-        let mut served_count = 0usize;
-        // Requests admitted to the reorder window so far; the window is
-        // exactly the unserved requests with index < entered (members
-        // only leave by being served, and admission is in arrival
-        // order), so eligibility is a single comparison.
-        let mut entered = 0usize;
-        // Oldest unserved request (tombstones skipped lazily).
-        let mut head = 0usize;
-        // Per-bank cached row-hit candidate: the oldest unserved request
-        // addressed to the bank's currently open row. Serving a request
-        // mutates exactly one bank's row state and consumes a request of
-        // that bank only (refresh stalls the bus but closes no rows), so
-        // a candidate is invalidated — and recomputed — only when its
-        // own bank is served. The per-pick cost is then a plain integer
-        // scan over banks plus one hash lookup for the served bank.
-        let row_candidate = |bank: &BankState,
-                             by_row: &mut HashMap<u64, VecDeque<usize>>,
-                             served: &[bool]|
-         -> Option<usize> {
-            let row = bank.open_row()?;
-            let q = by_row.get_mut(&row)?;
-            while q.front().is_some_and(|&i| served[i]) {
-                q.pop_front();
-            }
-            q.front().copied()
-        };
-        let mut candidates: Vec<Option<usize>> = self
-            .banks
-            .iter()
-            .zip(&mut by_row)
-            .map(|(bank, q)| row_candidate(bank, q, &served))
-            .collect();
-        while served_count < n {
-            while entered - served_count < window && entered < n {
-                entered += 1;
-            }
-            // First-ready: the oldest in-window request whose bank holds
-            // its row open, i.e. the minimum eligible cached candidate.
-            let mut pick: Option<usize> = None;
-            for cand in &candidates {
-                if let Some(i) = *cand {
-                    if i < entered && pick.is_none_or(|p| i < p) {
-                        pick = Some(i);
-                    }
-                }
-            }
-            let pick = pick.unwrap_or_else(|| {
-                while served[head] {
-                    head += 1;
-                }
-                head
-            });
-            served[pick] = true;
-            served_count += 1;
-            let (addr, arrival) = reqs[pick];
-            last = self.service_in_order(addr, arrival, timing);
-            let b = addr.bank as usize;
-            candidates[b] = row_candidate(&self.banks[b], &mut by_row[b], &served);
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let last = self.drain_bounded(window, 0, timing, &mut scratch);
+        self.scratch = scratch;
         last
     }
 
-    /// The original scan-and-remove FR-FCFS drain, kept as the oracle
-    /// the indexed [`ChannelSim::drain`] is golden-equivalence tested
-    /// against. The pick scans the oldest `window` pending requests for
-    /// a row hit and pays an O(n) `VecDeque::remove` per service.
+    /// [`ChannelSim::drain`] with caller-provided scratch state.
+    ///
+    /// Channels draining one after another (the serial device loop) can
+    /// share a single [`DrainScratch`] — the dominant cost of a drain
+    /// on a *fresh* channel is zeroing its scratch tables, and sharing
+    /// pays it once per device instead of once per channel. Results are
+    /// identical to [`ChannelSim::drain`]; the scratch is workspace,
+    /// never carried state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn drain_with(
+        &mut self,
+        window: usize,
+        timing: &Timing,
+        scratch: &mut DrainScratch,
+    ) -> Cycle {
+        self.drain_bounded(window, 0, timing, scratch)
+    }
+
+    /// Drains until fewer than `window` requests remain pending, leaving
+    /// the youngest `window - 1` queued, and returns the completion
+    /// cycle of the last request served here (0 if none).
+    ///
+    /// While at least `window` requests are unserved, every FR-FCFS pick
+    /// admits only already-pushed requests to its reorder window, so
+    /// interleaving pushes with partial drains is **bit-identical** to
+    /// pushing everything and draining once. This is the streaming
+    /// contract [`crate::Hbm::run_open_loop_streaming`] builds on:
+    /// bounded memory without changing a single pick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn drain_partial(&mut self, window: usize, timing: &Timing) -> Cycle {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let last = self.drain_bounded(window, window - 1, timing, &mut scratch);
+        self.scratch = scratch;
+        last
+    }
+
+    /// [`ChannelSim::drain_partial`] with caller-provided scratch state
+    /// (see [`ChannelSim::drain_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn drain_partial_with(
+        &mut self,
+        window: usize,
+        timing: &Timing,
+        scratch: &mut DrainScratch,
+    ) -> Cycle {
+        self.drain_bounded(window, window - 1, timing, scratch)
+    }
+
+    /// Serves pending requests in FR-FCFS order until only `keep`
+    /// remain (fewer if fewer are pending); survivors stay queued in
+    /// arrival order.
+    fn drain_bounded(
+        &mut self,
+        window: usize,
+        keep: usize,
+        timing: &Timing,
+        scratch: &mut DrainScratch,
+    ) -> Cycle {
+        assert!(window > 0, "reorder window must be >= 1");
+        // Move the arena out so the hot loop can hold its column slices
+        // across `service_core`'s `&mut self` calls; it is returned —
+        // with its capacity — before any exit.
+        let mut arena = std::mem::take(&mut self.pending);
+        let n = arena.len();
+        if n <= keep {
+            self.pending = arena;
+            return 0;
+        }
+        let serve_n = n - keep;
+        let mut last = 0;
+        if window == 1 {
+            // Degenerate in-order service: no reordering possible.
+            for i in 0..serve_n {
+                last = self.service_core(
+                    arena.banks()[i] as usize,
+                    arena.rows()[i],
+                    arena.is_writes()[i],
+                    arena.arrivals()[i],
+                    timing,
+                );
+            }
+            if keep == 0 {
+                arena.clear();
+            } else {
+                arena.discard_prefix(serve_n);
+            }
+            self.pending = arena;
+            return last;
+        }
+        scratch.begin(n, self.banks.len());
+        // One pass threads every request onto its (bank, row) list in
+        // arrival order.
+        {
+            let banks = arena.banks();
+            let rows = arena.rows();
+            for i in 0..n {
+                scratch
+                    .table
+                    .insert(banks[i], rows[i], i as u32, &mut scratch.link);
+            }
+        }
+        // Seed per-bank candidates from rows left open by earlier work.
+        for (b, bank) in self.banks.iter().enumerate() {
+            if let Some(row) = bank.open_row() {
+                let h = scratch.table.find_head(b as u32, row);
+                if h != NIL {
+                    scratch.candidates[b] = h;
+                    scratch.live_candidates += 1;
+                }
+            }
+        }
+        // Oldest unserved request (tombstones skipped lazily).
+        let mut head = 0usize;
+        for t in 0..serve_n {
+            // Requests admitted to the reorder window so far are exactly
+            // the unserved with index < entered (members only leave by
+            // being served, and admission is in arrival order), so
+            // eligibility is a single comparison.
+            let entered = (t + window).min(n);
+            // First-ready: the oldest in-window request whose bank holds
+            // its row open, i.e. the minimum eligible candidate. NIL is
+            // u32::MAX, so absent candidates lose every comparison.
+            let mut pick = usize::MAX;
+            if scratch.live_candidates > 0 {
+                let mut best = NIL;
+                for &c in &scratch.candidates {
+                    if c < best {
+                        best = c;
+                    }
+                }
+                if (best as usize) < entered {
+                    pick = best as usize;
+                }
+            }
+            if pick == usize::MAX {
+                while scratch.served[head] {
+                    head += 1;
+                }
+                pick = head;
+            }
+            scratch.served[pick] = true;
+            let b = arena.banks()[pick] as usize;
+            last = self.service_core(
+                b,
+                arena.rows()[pick],
+                arena.is_writes()[pick],
+                arena.arrivals()[pick],
+                timing,
+            );
+            // Serving mutates exactly one bank's row state, and the bank
+            // now holds row[pick] open — so the only candidate to refresh
+            // is bank b's. Within a (bank, row) list requests are served
+            // strictly oldest-first (a row-hit pick is its list's oldest
+            // unserved member; a default pick is the oldest unserved
+            // overall), so `link[pick]` *is* the next unserved member:
+            // no tombstone walk, no table lookup.
+            let h = scratch.link[pick];
+            let old = scratch.candidates[b];
+            if old != NIL && h == NIL {
+                scratch.live_candidates -= 1;
+            } else if old == NIL && h != NIL {
+                scratch.live_candidates += 1;
+            }
+            scratch.candidates[b] = h;
+        }
+        if keep == 0 {
+            arena.clear();
+        } else {
+            arena.compact_unserved(&scratch.served);
+        }
+        self.pending = arena;
+        last
+    }
+
+    /// The definitional FR-FCFS drain, kept as the oracle the indexed
+    /// [`ChannelSim::drain`] is golden-equivalence tested against: the
+    /// pick linearly scans the oldest `window` unserved requests for a
+    /// row hit, else takes the oldest. Served requests leave tombstones
+    /// — the O(n) `VecDeque::remove` the original scan-and-remove loop
+    /// paid per service is gone, so the oracle itself stays usable on
+    /// row-hit-heavy traces of hundreds of thousands of requests.
     ///
     /// # Panics
     ///
     /// Panics if `window` is zero.
     pub fn drain_reference(&mut self, window: usize, timing: &Timing) -> Cycle {
         assert!(window > 0, "reorder window must be >= 1");
+        let mut arena = std::mem::take(&mut self.pending);
+        let n = arena.len();
+        let mut served = vec![false; n];
+        let mut head = 0usize;
         let mut last = 0;
-        while !self.pending.is_empty() {
-            let depth = window.min(self.pending.len());
-            // First-ready: a request whose bank currently holds its row.
-            let pick = self
-                .pending
-                .iter()
-                .take(depth)
-                .position(|(a, _)| self.banks[a.bank as usize].classify(a.row) == RowOutcome::Hit)
-                .unwrap_or(0);
-            let (addr, arrival) = self.pending.remove(pick).expect("index in range");
-            last = self.service_in_order(addr, arrival, timing);
+        for _ in 0..n {
+            while served[head] {
+                head += 1;
+            }
+            // First-ready: the first row hit among the oldest `window`
+            // unserved requests; otherwise the oldest.
+            let mut pick = head;
+            let mut live_seen = 0usize;
+            let mut i = head;
+            while i < n && live_seen < window {
+                if !served[i] {
+                    let b = arena.banks()[i] as usize;
+                    if self.banks[b].classify(arena.rows()[i]) == RowOutcome::Hit {
+                        pick = i;
+                        break;
+                    }
+                    live_seen += 1;
+                }
+                i += 1;
+            }
+            served[pick] = true;
+            last = self.service_core(
+                arena.banks()[pick] as usize,
+                arena.rows()[pick],
+                arena.is_writes()[pick],
+                arena.arrivals()[pick],
+                timing,
+            );
         }
+        arena.clear();
+        self.pending = arena;
         last
     }
 
@@ -437,6 +611,23 @@ mod tests {
     }
 
     #[test]
+    fn pushed_writes_pay_turnaround_in_drain() {
+        let tm = t();
+        // In-order (window 1) drains of the same mixed-direction stream
+        // must match the incremental rw service path exactly.
+        let mut drained = ChannelSim::new(16);
+        let mut incremental = ChannelSim::new(16);
+        let mut end_i = 0;
+        for i in 0..64u64 {
+            drained.push_rw(addr(0, i % 16, 0), i % 2 == 1, 0);
+            end_i = incremental.service_in_order_rw(addr(0, i % 16, 0), i % 2 == 1, 0, &tm);
+        }
+        let end_d = drained.drain(1, &tm);
+        assert_eq!(end_d, end_i);
+        assert_eq!(drained.stats(), incremental.stats());
+    }
+
+    #[test]
     fn refresh_stalls_the_channel() {
         let with = Timing::hbm2_with_refresh();
         let without = Timing::hbm2();
@@ -488,7 +679,7 @@ mod tests {
     fn indexed_drain_matches_reference_pick_order() {
         // Golden equivalence: for random request mixes, every window
         // size, and refresh on/off, the indexed drain must reproduce the
-        // scan-and-remove reference bit for bit — makespan, stats, and
+        // linear-scan reference bit for bit — makespan, stats, and
         // per-bank counters all follow from an identical pick order.
         for tm in [Timing::hbm2(), Timing::hbm2_with_refresh()] {
             for (banks, rows) in [(1u64, 4u64), (4, 16), (16, 64)] {
@@ -527,6 +718,86 @@ mod tests {
         }
         assert_eq!(fast.drain(1, &tm), slow.drain_reference(1, &tm));
         assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn row_hit_heavy_reference_regression() {
+        // Regression for the oracle's old O(n) `VecDeque::remove` per
+        // row hit: on an all-hits-per-bank stream every pick used to
+        // shift the whole tail. With tombstones this finishes instantly
+        // and still agrees with the indexed drain bit for bit.
+        let tm = t();
+        let n = 50_000u64;
+        let mut fast = ChannelSim::new(8);
+        let mut slow = ChannelSim::new(8);
+        for i in 0..n {
+            // One hot row per bank: after the first touch, every further
+            // access to the bank is a row hit.
+            let a = addr(7, i % 8, 0);
+            fast.push(a, 0);
+            slow.push(a, 0);
+        }
+        let end_fast = fast.drain(64, &tm);
+        let end_slow = slow.drain_reference(64, &tm);
+        assert_eq!(end_fast, end_slow);
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.stats().row_hits, n - 8, "all but first-touches hit");
+    }
+
+    #[test]
+    fn partial_drain_interleaved_with_pushes_is_bit_identical() {
+        // The streaming contract: pushing in blocks and calling
+        // `drain_partial` between them, then a final full drain, must
+        // reproduce the one-shot drain exactly — picks, stats, per-bank
+        // counters, and makespan.
+        for window in [2usize, 4, 16, 64] {
+            for block in [1usize, 3, 16, 257] {
+                let reqs = mixed_stream(700, 8, 32, 0x5eed ^ window as u64);
+                let tm = t();
+                let mut oneshot = ChannelSim::new(8);
+                for &(a, arr) in &reqs {
+                    oneshot.push(a, arr);
+                }
+                let end_one = oneshot.drain(window, &tm);
+
+                let mut streamed = ChannelSim::new(8);
+                let mut end_s = 0;
+                for chunk in reqs.chunks(block) {
+                    for &(a, arr) in chunk {
+                        streamed.push(a, arr);
+                    }
+                    let done = streamed.drain_partial(window, &tm);
+                    end_s = end_s.max(done);
+                }
+                let done = streamed.drain(window, &tm);
+                end_s = end_s.max(done);
+                assert!(
+                    streamed.pending_len() == 0,
+                    "final drain must empty the queue"
+                );
+                assert_eq!(
+                    end_s, end_one,
+                    "window {window} block {block}: makespan diverged"
+                );
+                assert_eq!(streamed.stats(), oneshot.stats());
+                assert_eq!(streamed.bank_requests(), oneshot.bank_requests());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_drain_leaves_youngest_window_minus_one() {
+        let tm = t();
+        let mut ch = ChannelSim::new(4);
+        for i in 0..100u64 {
+            ch.push(addr(i, i % 4, 0), 0);
+        }
+        ch.drain_partial(16, &tm);
+        assert_eq!(ch.pending_len(), 15);
+        assert_eq!(ch.stats().requests, 85);
+        // Draining the rest serves everyone.
+        ch.drain(16, &tm);
+        assert_eq!(ch.stats().requests, 100);
     }
 
     #[test]

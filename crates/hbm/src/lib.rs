@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bank;
 pub mod channel;
 pub mod geometry;
@@ -52,8 +53,9 @@ pub mod sim;
 pub mod stats;
 pub mod timing;
 
+pub use arena::{DrainScratch, RequestArena};
 pub use geometry::{DecodedAddr, Geometry, HardwareAddr};
-pub use sim::{bank_hashed, bank_hashed_reference, Hbm};
+pub use sim::{bank_hashed, bank_hashed_block, bank_hashed_reference, Hbm};
 pub use stats::{ChannelStats, SimStats};
 pub use timing::Timing;
 

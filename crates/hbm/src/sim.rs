@@ -1,5 +1,6 @@
 //! The top-level memory device: a set of independent channels.
 
+use crate::arena::DrainScratch;
 use crate::channel::ChannelSim;
 use crate::stats::SimStats;
 use crate::{Cycle, DecodedAddr, Geometry, Timing};
@@ -32,6 +33,28 @@ pub fn bank_hashed(geometry: Geometry, mut addr: DecodedAddr) -> DecodedAddr {
     }
     addr.bank ^= fold & ((1u64 << bank_bits) - 1);
     addr
+}
+
+/// [`bank_hashed`] applied in place over a block of addresses: the
+/// `bank_bits` branch and mask are hoisted out of the loop, so batching
+/// callers (the block-based machine driver in `sdam-sys`) pay one setup
+/// per block instead of one per request. Bit-identical to mapping
+/// [`bank_hashed`] over the slice.
+pub fn bank_hashed_block(geometry: Geometry, addrs: &mut [DecodedAddr]) {
+    let bank_bits = geometry.bank_bits();
+    if bank_bits == 0 {
+        return; // one bank per channel: nothing to permute
+    }
+    let mask = (1u64 << bank_bits) - 1;
+    for addr in addrs {
+        let mut fold = addr.row;
+        let mut shift = bank_bits;
+        while shift < u64::BITS {
+            fold ^= fold >> shift;
+            shift <<= 1;
+        }
+        addr.bank ^= fold & mask;
+    }
 }
 
 /// The original per-chunk fold loop of [`bank_hashed`], kept as the
@@ -91,6 +114,10 @@ pub struct Hbm {
     requests: u64,
     makespan: Cycle,
     bank_hash: bool,
+    /// Drain workspace shared across the (sequential) per-channel
+    /// drains: one set of tables for the whole device instead of one
+    /// per channel, so a fresh device pays its scratch zeroing once.
+    scratch: DrainScratch,
 }
 
 impl Hbm {
@@ -113,6 +140,7 @@ impl Hbm {
             requests: 0,
             makespan: 0,
             bank_hash: true,
+            scratch: DrainScratch::default(),
         }
     }
 
@@ -127,6 +155,21 @@ impl Hbm {
             bank_hashed(self.geometry, addr)
         } else {
             addr
+        }
+    }
+
+    /// Sizes every channel's pending queue for an incoming stream of
+    /// `total` requests, assuming roughly even channel spread (with 25%
+    /// slack for skew). Purely a growth-realloc saver: an exact-size
+    /// iterator (`Vec`, slice) pushing a uniform stream then never
+    /// reallocates a column mid-push.
+    fn reserve_per_channel(&mut self, total: usize) {
+        if total == 0 {
+            return;
+        }
+        let per = total / self.channels.len() + total / (4 * self.channels.len()) + 8;
+        for ch in &mut self.channels {
+            ch.reserve_pending(per.saturating_sub(ch.pending_len()));
         }
     }
 
@@ -167,6 +210,27 @@ impl Hbm {
     /// As [`Hbm::service`].
     pub fn service_rw(&mut self, addr: DecodedAddr, is_write: bool, arrival: Cycle) -> Cycle {
         let addr = self.effective(addr);
+        self.service_effective_rw(addr, is_write, arrival)
+    }
+
+    /// [`Hbm::service_rw`] for an address that has *already* been run
+    /// through [`Hbm::effective_block`] (or [`Hbm::effective_addr`]).
+    ///
+    /// Block-based drivers hoist the controller bank hash out of the
+    /// issue loop by hashing whole decode blocks up front; this entry
+    /// point lets them service those addresses without hashing twice
+    /// (the hash is an involution-free transform, so double application
+    /// would corrupt the bank index).
+    ///
+    /// # Panics
+    ///
+    /// As [`Hbm::service`].
+    pub fn service_effective_rw(
+        &mut self,
+        addr: DecodedAddr,
+        is_write: bool,
+        arrival: Cycle,
+    ) -> Cycle {
         let done = self.channels[addr.channel as usize].service_in_order_rw(
             addr,
             is_write,
@@ -176,6 +240,15 @@ impl Hbm {
         self.requests += 1;
         self.makespan = self.makespan.max(done);
         done
+    }
+
+    /// Applies the controller's effective-address transform (the bank
+    /// hash, unless disabled) to a block of decoded addresses in place —
+    /// the block twin of [`Hbm::effective_addr`].
+    pub fn effective_block(&self, addrs: &mut [DecodedAddr]) {
+        if self.bank_hash {
+            bank_hashed_block(self.geometry, addrs);
+        }
     }
 
     /// Runs a whole stream open-loop (all requests available at cycle 0)
@@ -200,15 +273,19 @@ impl Hbm {
     where
         I: IntoIterator<Item = DecodedAddr>,
     {
+        let addrs = addrs.into_iter();
+        self.reserve_per_channel(addrs.size_hint().0);
         for a in addrs {
             let a = self.effective(a);
             self.channels[a.channel as usize].push(a, 0);
             self.requests += 1;
         }
+        let mut scratch = std::mem::take(&mut self.scratch);
         for ch in &mut self.channels {
-            let done = ch.drain(window, &self.timing);
+            let done = ch.drain_with(window, &self.timing, &mut scratch);
             self.makespan = self.makespan.max(done);
         }
+        self.scratch = scratch;
         self.stats()
     }
 
@@ -234,6 +311,8 @@ impl Hbm {
         if threads == 1 {
             return self.run_open_loop_windowed(addrs, window);
         }
+        let addrs = addrs.into_iter();
+        self.reserve_per_channel(addrs.size_hint().0);
         for a in addrs {
             let a = self.effective(a);
             self.channels[a.channel as usize].push(a, 0);
@@ -251,9 +330,13 @@ impl Hbm {
                 .into_iter()
                 .map(|mut shard_channels| {
                     s.spawn(move || {
+                        // One scratch per worker: channels in a shard
+                        // drain sequentially, and scratch never carries
+                        // state, so sharing it cannot change a pick.
+                        let mut scratch = DrainScratch::default();
                         shard_channels
                             .iter_mut()
-                            .map(|ch| ch.drain(window, &timing))
+                            .map(|ch| ch.drain_with(window, &timing, &mut scratch))
                             .max()
                             .unwrap_or(0)
                     })
@@ -266,6 +349,55 @@ impl Hbm {
                 .unwrap_or(0)
         });
         self.makespan = self.makespan.max(done);
+        self.stats()
+    }
+
+    /// Like [`Hbm::run_open_loop_windowed`], but with **bounded resident
+    /// memory**: requests are pushed in blocks of `block`, and between
+    /// blocks every channel is partially drained down to its youngest
+    /// `window - 1` requests. The source can therefore be a streaming
+    /// iterator over a trace far larger than RAM (e.g. a
+    /// `sdam-trace` `TraceReader` over a file) — at any instant at most
+    /// `block + channels * (window - 1)` requests are held, plus the
+    /// per-channel arena capacities (bounded by the largest block).
+    ///
+    /// The result is **bit-identical** to the one-shot drain: while at
+    /// least `window` requests are unserved on a channel, each FR-FCFS
+    /// pick admits only already-pushed requests to its reorder window
+    /// (see [`crate::channel::ChannelSim::drain_partial`]), so chopping
+    /// the stream into blocks changes no pick, no statistic, and no
+    /// makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `block` is zero, or an address is out of
+    /// range.
+    pub fn run_open_loop_streaming<I>(&mut self, addrs: I, window: usize, block: usize) -> SimStats
+    where
+        I: IntoIterator<Item = DecodedAddr>,
+    {
+        assert!(window > 0, "reorder window must be >= 1");
+        assert!(block > 0, "stream block must be >= 1");
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut in_block = 0usize;
+        for a in addrs {
+            let a = self.effective(a);
+            self.channels[a.channel as usize].push(a, 0);
+            self.requests += 1;
+            in_block += 1;
+            if in_block == block {
+                in_block = 0;
+                for ch in &mut self.channels {
+                    let done = ch.drain_partial_with(window, &self.timing, &mut scratch);
+                    self.makespan = self.makespan.max(done);
+                }
+            }
+        }
+        for ch in &mut self.channels {
+            let done = ch.drain_with(window, &self.timing, &mut scratch);
+            self.makespan = self.makespan.max(done);
+        }
+        self.scratch = scratch;
         self.stats()
     }
 
@@ -434,6 +566,71 @@ mod tests {
                     a.row
                 );
             }
+        }
+    }
+
+    #[test]
+    fn streaming_open_loop_identical_to_one_shot() {
+        // The bounded-memory contract, at device level: any block size
+        // (including pathological ones) reproduces the one-shot open
+        // loop bit for bit — makespan, per-channel stats, everything.
+        let geom = Geometry::hbm2_8gb();
+        for stride in [1u64, 3, 16] {
+            let stream = stride_stream(geom, stride, 10_000);
+            for window in [1usize, 4, 16] {
+                let mut oneshot = device();
+                let expected = oneshot.run_open_loop_windowed(stream.iter().copied(), window);
+                for block in [1usize, 7, 512, 10_000, 50_000] {
+                    let mut streamed = device();
+                    let got =
+                        streamed.run_open_loop_streaming(stream.iter().copied(), window, block);
+                    assert_eq!(
+                        expected, got,
+                        "stride {stride} window {window} block {block} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_open_loop_bounds_pending_queues() {
+        let geom = Geometry::hbm2_8gb();
+        let mut hbm = device();
+        let window = 16usize;
+        let block = 256usize;
+        // Channel-pinned stream (worst case: every request on channel 0).
+        let addrs = stride_stream(geom, 32, 4096);
+        // Drive the blocks by hand to observe the invariant mid-stream.
+        for chunk in addrs.chunks(block) {
+            hbm.run_open_loop_streaming(chunk.iter().copied(), window, block);
+        }
+        // After every partial drain each channel holds < window requests.
+        assert_eq!(hbm.stats().requests, 4096);
+    }
+
+    #[test]
+    fn block_bank_hash_matches_scalar() {
+        for geom in [
+            Geometry::hbm2_8gb(),
+            Geometry::ddr4_8gb(),
+            Geometry::hmc_4gb(),
+        ] {
+            let mut x = 0x1234_5678_9abc_def0u64;
+            let mut addrs: Vec<DecodedAddr> = (0..2048u64)
+                .map(|_| {
+                    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(13);
+                    DecodedAddr {
+                        row: x >> 17,
+                        bank: x % geom.banks_per_channel() as u64,
+                        channel: x % geom.num_channels() as u64,
+                        col: 0,
+                    }
+                })
+                .collect();
+            let expected: Vec<DecodedAddr> = addrs.iter().map(|&a| bank_hashed(geom, a)).collect();
+            bank_hashed_block(geom, &mut addrs);
+            assert_eq!(addrs, expected);
         }
     }
 

@@ -113,6 +113,12 @@ impl Amu {
         self.perm.apply(addr)
     }
 
+    /// [`Amu::apply`] in place over a block of addresses.
+    #[inline]
+    pub fn apply_block(&self, addrs: &mut [u64]) {
+        self.perm.apply_block(addrs);
+    }
+
     /// The number of crossbar switches, `n²` (paper §5.2).
     pub fn switch_count(&self) -> usize {
         self.perm.len() * self.perm.len()

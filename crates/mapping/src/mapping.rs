@@ -14,6 +14,19 @@ pub trait AddressMapping: std::fmt::Debug + Send + Sync {
     /// Maps a physical address to a hardware address.
     fn map(&self, pa: PhysAddr) -> HardwareAddr;
 
+    /// Maps a block of raw physical addresses to raw hardware addresses
+    /// in place.
+    ///
+    /// The default loops [`AddressMapping::map`]; mappings with
+    /// hoistable per-call setup (window masks, LUT bases) override it.
+    /// Overrides must stay bit-identical to the per-address path —
+    /// batched simulation relies on it.
+    fn map_block(&self, addrs: &mut [u64]) {
+        for a in addrs.iter_mut() {
+            *a = self.map(PhysAddr(*a)).0;
+        }
+    }
+
     /// Inverts the mapping.
     fn unmap(&self, ha: HardwareAddr) -> PhysAddr;
 
@@ -44,6 +57,8 @@ impl AddressMapping for IdentityMapping {
     fn map(&self, pa: PhysAddr) -> HardwareAddr {
         HardwareAddr(pa.0)
     }
+
+    fn map_block(&self, _addrs: &mut [u64]) {}
 
     fn unmap(&self, ha: HardwareAddr) -> PhysAddr {
         PhysAddr(ha.0)

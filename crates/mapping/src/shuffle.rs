@@ -60,6 +60,10 @@ impl AddressMapping for BitShuffleMapping {
         HardwareAddr(self.forward.apply(pa.0))
     }
 
+    fn map_block(&self, addrs: &mut [u64]) {
+        self.forward.apply_block(addrs);
+    }
+
     fn unmap(&self, ha: HardwareAddr) -> PhysAddr {
         PhysAddr(self.inverse.apply(ha.0))
     }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 
 use sdam_hbm::channel::ChannelSim;
-use sdam_hbm::{bank_hashed, ChannelStats, DecodedAddr, Geometry, Hbm, SimStats, Timing};
+use sdam_hbm::{bank_hashed_block, ChannelStats, DecodedAddr, Geometry, Hbm, SimStats, Timing};
 use sdam_mapping::PhysAddr;
 use sdam_trace::Trace;
 
@@ -220,6 +220,79 @@ pub fn safe_speedup(baseline_cycles: u64, cycles: u64) -> f64 {
     }
 }
 
+/// Accesses per batching block in the block-based drivers.
+///
+/// Within one block the drivers run three phases — cache filter,
+/// batched decode/translate, clock replay — over a reused [`MissStage`]
+/// arena. The size trades locality (small enough that the block's miss
+/// columns stay cache-resident) against amortization of the per-block
+/// engine dispatch.
+const MISS_BLOCK: usize = 4096;
+
+/// Per-block staging for the batched drivers: external misses collected
+/// during the cache-filter phase (A), translated and decoded per core
+/// in the batch phase (B), and replayed through the clock model in
+/// phase C. All buffers are reused across blocks, so a steady-state
+/// block allocates nothing.
+///
+/// Misses are stored as per-core parallel columns (one stream per
+/// translation cache — the CMT memo is order-sensitive *within* a
+/// stream but independent *across* streams), plus a global `order`
+/// list that preserves trace order for the replay phase.
+#[derive(Debug, Default)]
+struct MissStage {
+    /// Global miss order within the block: (core, index into that
+    /// core's columns).
+    order: Vec<(u32, u32)>,
+    /// Raw physical addresses, per core; translated in place by
+    /// phase B.
+    pas: Vec<Vec<u64>>,
+    /// Write flags, per core.
+    writes: Vec<Vec<bool>>,
+    /// The core's accumulated phase-A clock additions at the time of
+    /// each miss (compute cycles + cache-hit latencies since block
+    /// start, including this access's compute cycles).
+    advances: Vec<Vec<u64>>,
+    /// Trace slot of each miss (used by the sharded driver to address
+    /// its completion slots; the serial driver leaves it zero).
+    slots: Vec<Vec<usize>>,
+    /// Decoded (and bank-hashed) hardware addresses, per core; filled
+    /// by phase B.
+    decoded: Vec<Vec<DecodedAddr>>,
+}
+
+impl MissStage {
+    fn new(cores: usize) -> Self {
+        MissStage {
+            order: Vec::new(),
+            pas: vec![Vec::new(); cores],
+            writes: vec![Vec::new(); cores],
+            advances: vec![Vec::new(); cores],
+            slots: vec![Vec::new(); cores],
+            decoded: vec![Vec::new(); cores],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+        for c in 0..self.pas.len() {
+            self.pas[c].clear();
+            self.writes[c].clear();
+            self.advances[c].clear();
+            self.slots[c].clear();
+            self.decoded[c].clear();
+        }
+    }
+
+    fn push(&mut self, core: usize, pa: u64, is_write: bool, advance: u64, slot: usize) {
+        self.order.push((core as u32, self.pas[core].len() as u32));
+        self.pas[core].push(pa);
+        self.writes[core].push(is_write);
+        self.advances[core].push(advance);
+        self.slots[core].push(slot);
+    }
+}
+
 /// The machine: cores + caches + memory device.
 #[derive(Debug)]
 pub struct Machine {
@@ -270,7 +343,140 @@ impl Machine {
     /// Runs a trace of *physical* addresses through caches, the mapping
     /// engine, and the memory device. Each access is attributed to core
     /// `thread % num_cores`.
+    ///
+    /// Requests are processed in blocks of [`MISS_BLOCK`] accesses with
+    /// three phases per block: (A) cache filter — caches are probed in
+    /// trace order and external misses collected into a reused
+    /// [`MissStage`] arena, (B) batched translate/decode — each core's
+    /// misses go through [`MappingEngine::decode_block`] (one engine
+    /// dispatch per core per block) and the controller's bank hash is
+    /// applied block-wide, (C) clock replay — the per-core clock,
+    /// window-stall, and issue logic consumes the decoded block in
+    /// trace order. The report is bit-identical to the per-request
+    /// oracle [`Machine::run_reference`]: cache outcomes do not depend
+    /// on clocks, translations depend only on per-core stream order
+    /// (preserved), and phase C replays the exact clock arithmetic at
+    /// every miss via the recorded phase-A advances.
     pub fn run(&mut self, trace: &Trace, engine: &MappingEngine) -> ExecutionReport {
+        let n = self.config.num_cores;
+        let mut hbm = Hbm::new(self.geometry, self.timing);
+        let mut l1s: Vec<Option<Cache>> = (0..n).map(|_| self.config.l1.map(Cache::new)).collect();
+        let mut llc: Option<Cache> = self.config.llc.map(Cache::new);
+        let mut clocks = vec![0u64; n];
+        let mut outstanding: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut memory_requests = 0u64;
+        let mut l1_hits = 0u64;
+        let mut per_core = vec![CoreStats::default(); n];
+        let mut caches = vec![TranslationCache::default(); n];
+        let lookup = engine.lookup_cycles(&self.timing);
+
+        let mut stage = MissStage::new(n);
+        // Phase-A clock additions per core since block start, and the
+        // prefix of them already folded into `clocks` by phase C.
+        let mut advance = vec![0u64; n];
+        let mut consumed = vec![0u64; n];
+
+        for block in trace.accesses().chunks(MISS_BLOCK) {
+            // Phase A: cache filter. Only commutative clock additions
+            // happen here; they are accumulated in `advance` and folded
+            // into `clocks` at the exact miss boundaries in phase C.
+            stage.clear();
+            advance.fill(0);
+            consumed.fill(0);
+            for a in block {
+                let core = a.thread.index() % n;
+                per_core[core].accesses += 1;
+                advance[core] += self.config.compute_cycles;
+
+                if let Some(l1) = &mut l1s[core] {
+                    if l1.access(a.addr) == CacheOutcome::Hit {
+                        advance[core] += l1.config().hit_latency;
+                        l1_hits += 1;
+                        continue;
+                    }
+                }
+                if let Some(llc) = &mut llc {
+                    if llc.access(a.addr) == CacheOutcome::Hit {
+                        advance[core] += llc.config().hit_latency;
+                        continue;
+                    }
+                }
+
+                memory_requests += 1;
+                per_core[core].misses += 1;
+                stage.push(core, a.addr, a.is_write, advance[core], 0);
+            }
+
+            // Phase B: batched PA→HA translation, decode, and bank
+            // hash, one core's stream at a time.
+            for (c, cache) in caches.iter_mut().enumerate().take(n) {
+                if stage.pas[c].is_empty() {
+                    continue;
+                }
+                engine.decode_block(&mut stage.pas[c], self.geometry, cache, &mut stage.decoded[c]);
+                hbm.effective_block(&mut stage.decoded[c]);
+            }
+
+            // Phase C: replay the clock model over the misses in trace
+            // order.
+            for &(c, i) in &stage.order {
+                let (c, i) = (c as usize, i as usize);
+                let adv = stage.advances[c][i];
+                clocks[c] += adv - consumed[c];
+                consumed[c] = adv;
+                if outstanding[c].len() >= self.config.mlp_window {
+                    if let Some(oldest) = outstanding[c].pop_front() {
+                        if oldest > clocks[c] {
+                            per_core[c].window_stall_cycles += oldest - clocks[c];
+                            clocks[c] = oldest;
+                        }
+                    }
+                }
+                // The CMT lookup sits on the miss path; its SRAM
+                // latency is constant (paper §5.3: 6 ns, negligible
+                // next to >130 ns of HBM). Global mappings are
+                // combinational.
+                let issue = clocks[c] + lookup;
+                let completion =
+                    hbm.service_effective_rw(stage.decoded[c][i], stage.writes[c][i], issue);
+                outstanding[c].push_back(completion);
+                clocks[c] += 1; // issue slot
+            }
+            // Fold in the additions that landed after each core's last
+            // miss of the block.
+            for c in 0..n {
+                clocks[c] += advance[c] - consumed[c];
+            }
+        }
+
+        // Drain: a core finishes when its last miss returns.
+        for c in 0..n {
+            let last_mem = outstanding[c].back().copied().unwrap_or(0);
+            if last_mem > clocks[c] {
+                per_core[c].window_stall_cycles += last_mem - clocks[c];
+                clocks[c] = last_mem;
+            }
+            per_core[c].cycles = clocks[c];
+        }
+        let cycles = clocks.iter().copied().max().unwrap_or(0);
+
+        ExecutionReport {
+            cycles,
+            accesses: trace.len() as u64,
+            memory_requests,
+            l1_hits,
+            memory: hbm.stats(),
+            mapping_name: engine.name().to_string(),
+            per_core,
+            translation: sum_translation(&caches),
+        }
+    }
+
+    /// The original per-request serial driver, kept verbatim as the
+    /// oracle the block-based [`Machine::run`] is tested against: every
+    /// access runs compute, cache probe, window stall, translation, and
+    /// memory service inline before the next access is considered.
+    pub fn run_reference(&mut self, trace: &Trace, engine: &MappingEngine) -> ExecutionReport {
         let n = self.config.num_cores;
         let mut hbm = Hbm::new(self.geometry, self.timing);
         let mut l1s: Vec<Option<Cache>> = (0..n).map(|_| self.config.l1.map(Cache::new)).collect();
@@ -466,55 +672,87 @@ impl Machine {
                 }));
             }
 
-            // The driver: the exact serial core model, with `service_rw`
-            // replaced by a send and completions resolved lazily.
-            for (slot, a) in trace.iter().enumerate() {
-                let core = a.thread.index() % n;
-                per_core[core].accesses += 1;
-                clocks[core] += self.config.compute_cycles;
+            // The driver: the same block-phase core model as the serial
+            // [`Machine::run`], with `service_effective_rw` replaced by
+            // a send and completions resolved lazily through the slots.
+            let mut stage = MissStage::new(n);
+            let mut advance = vec![0u64; n];
+            let mut consumed = vec![0u64; n];
+            for (block_idx, block) in trace.accesses().chunks(MISS_BLOCK).enumerate() {
+                let base_slot = block_idx * MISS_BLOCK;
+                // Phase A: cache filter.
+                stage.clear();
+                advance.fill(0);
+                consumed.fill(0);
+                for (off, a) in block.iter().enumerate() {
+                    let core = a.thread.index() % n;
+                    per_core[core].accesses += 1;
+                    advance[core] += self.config.compute_cycles;
 
-                if let Some(l1) = &mut l1s[core] {
-                    if l1.access(a.addr) == CacheOutcome::Hit {
-                        clocks[core] += l1.config().hit_latency;
-                        l1_hits += 1;
-                        continue;
-                    }
-                }
-                if let Some(llc) = &mut llc {
-                    if llc.access(a.addr) == CacheOutcome::Hit {
-                        clocks[core] += llc.config().hit_latency;
-                        continue;
-                    }
-                }
-
-                memory_requests += 1;
-                per_core[core].misses += 1;
-                if outstanding[core].len() >= self.config.mlp_window {
-                    if let Some(oldest_slot) = outstanding[core].pop_front() {
-                        let oldest = wait_for(oldest_slot);
-                        if oldest > clocks[core] {
-                            per_core[core].window_stall_cycles += oldest - clocks[core];
-                            clocks[core] = oldest;
+                    if let Some(l1) = &mut l1s[core] {
+                        if l1.access(a.addr) == CacheOutcome::Hit {
+                            advance[core] += l1.config().hit_latency;
+                            l1_hits += 1;
+                            continue;
                         }
                     }
+                    if let Some(llc) = &mut llc {
+                        if llc.access(a.addr) == CacheOutcome::Hit {
+                            advance[core] += llc.config().hit_latency;
+                            continue;
+                        }
+                    }
+
+                    memory_requests += 1;
+                    per_core[core].misses += 1;
+                    stage.push(core, a.addr, a.is_write, advance[core], base_slot + off);
                 }
-                let ha = engine.decode_cached(PhysAddr(a.addr), geom, &mut caches[core]);
-                // `Hbm::service_rw` applies the controller's bank hash
-                // internally; replicate it here so the sharded channels
+
+                // Phase B: batched translate/decode. `Hbm::service_rw`
+                // applies the controller's bank hash internally;
+                // replicate it block-wide here so the sharded channels
                 // see the same effective addresses.
-                let eff = bank_hashed(geom, ha);
-                let issue = clocks[core] + lookup;
-                // A send fails only if the worker died (panicked); store
-                // a completion so the driver cannot deadlock — the panic
-                // resurfaces at join below.
-                if senders[eff.channel as usize % workers]
-                    .send((slot, eff, a.is_write, issue))
-                    .is_err()
-                {
-                    slots[slot].store(issue, Ordering::Release);
+                for (c, cache) in caches.iter_mut().enumerate().take(n) {
+                    if stage.pas[c].is_empty() {
+                        continue;
+                    }
+                    engine.decode_block(&mut stage.pas[c], geom, cache, &mut stage.decoded[c]);
+                    bank_hashed_block(geom, &mut stage.decoded[c]);
                 }
-                outstanding[core].push_back(slot);
-                clocks[core] += 1; // issue slot
+
+                // Phase C: clock replay; issues become sends.
+                for &(c, i) in &stage.order {
+                    let (c, i) = (c as usize, i as usize);
+                    let adv = stage.advances[c][i];
+                    clocks[c] += adv - consumed[c];
+                    consumed[c] = adv;
+                    if outstanding[c].len() >= self.config.mlp_window {
+                        if let Some(oldest_slot) = outstanding[c].pop_front() {
+                            let oldest = wait_for(oldest_slot);
+                            if oldest > clocks[c] {
+                                per_core[c].window_stall_cycles += oldest - clocks[c];
+                                clocks[c] = oldest;
+                            }
+                        }
+                    }
+                    let eff = stage.decoded[c][i];
+                    let slot = stage.slots[c][i];
+                    let issue = clocks[c] + lookup;
+                    // A send fails only if the worker died (panicked);
+                    // store a completion so the driver cannot deadlock —
+                    // the panic resurfaces at join below.
+                    if senders[eff.channel as usize % workers]
+                        .send((slot, eff, stage.writes[c][i], issue))
+                        .is_err()
+                    {
+                        slots[slot].store(issue, Ordering::Release);
+                    }
+                    outstanding[c].push_back(slot);
+                    clocks[c] += 1; // issue slot
+                }
+                for c in 0..n {
+                    clocks[c] += advance[c] - consumed[c];
+                }
             }
             drop(senders); // workers drain and exit
 
@@ -778,6 +1016,57 @@ mod tests {
             good.stall_fraction(),
             bad.stall_fraction()
         );
+    }
+
+    #[test]
+    fn block_run_identical_to_reference() {
+        // The batched-driver invariant: phase-structured execution
+        // (cache filter → batched decode → clock replay) reproduces the
+        // per-request oracle bit for bit — cycles, per-core stats,
+        // translation counters, and the full memory report — across
+        // engines, machine shapes, and traces that straddle block
+        // boundaries.
+        let geom = Geometry::hbm2_8gb();
+        let mut cmt = sdam_mapping::Cmt::new(geom.addr_bits(), 21);
+        let mut table: Vec<u32> = (0..15).collect();
+        table.swap(0, 5);
+        cmt.register(
+            sdam_mapping::MappingId(1),
+            &sdam_mapping::BitPermutation::new(6, table).unwrap(),
+        );
+        for chunk in 0..4 {
+            cmt.assign_chunk(chunk, sdam_mapping::MappingId(1)).unwrap();
+        }
+        let engines = [
+            MappingEngine::identity(),
+            MappingEngine::Global(Box::new(sdam_mapping::select::shuffle_for_stride(32, geom))),
+            MappingEngine::Chunked(cmt),
+        ];
+        let mut slow_cfg = MachineConfig::cpu();
+        slow_cfg.compute_cycles = 3;
+        let configs = [
+            MachineConfig::cpu(),
+            MachineConfig::cpu_with_llc(),
+            MachineConfig::accelerator(),
+            slow_cfg,
+        ];
+        // 0 accesses, under one block, and several blocks (4 threads x
+        // 3_000 = 12_000 accesses with MISS_BLOCK = 4096).
+        let traces = [
+            Trace::new(),
+            mt_stride_trace(32, 700),
+            mt_stride_trace(33, 3_000),
+        ];
+        for engine in &engines {
+            for config in configs {
+                for trace in &traces {
+                    let mut m = Machine::new(config, geom);
+                    let want = m.run_reference(trace, engine);
+                    let got = m.run(trace, engine);
+                    assert_eq!(want, got, "{} diverged from oracle", engine.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -116,6 +116,29 @@ impl MappingEngine {
         }
     }
 
+    /// Block twin of [`MappingEngine::decode_cached`]: translates a
+    /// block of raw physical addresses in place and appends the decoded
+    /// hardware addresses to `out`.
+    ///
+    /// The engine dispatch and mapping setup are hoisted to one match
+    /// per block; results and translation counters are bit-identical to
+    /// calling [`MappingEngine::decode_cached`] on each element in
+    /// order (the `pas` slice must be one stream's addresses in stream
+    /// order, since the memo in `cache` is order-sensitive).
+    pub fn decode_block(
+        &self,
+        pas: &mut [u64],
+        geom: Geometry,
+        cache: &mut TranslationCache,
+        out: &mut Vec<DecodedAddr>,
+    ) {
+        match self {
+            MappingEngine::Global(m) => m.map_block(pas),
+            MappingEngine::Chunked(cmt) => cmt.translate_block_cached(pas, &mut cache.0),
+        }
+        out.extend(pas.iter().map(|&a| geom.decode(HardwareAddr(a))));
+    }
+
     /// Cycles the PA→HA stage adds to a miss: the CMT SRAM lookup for
     /// the chunked path, zero for combinational global mappings.
     ///

@@ -90,6 +90,7 @@ impl StrideGen {
 
     /// Appends the stream to `trace`.
     pub fn emit(&self, trace: &mut Trace) {
+        trace.reserve(self.count as usize);
         for i in 0..self.count {
             let mut off = i * self.stride_bytes;
             if let Some(w) = self.wrap_bytes {
@@ -160,6 +161,7 @@ impl RandomGen {
 
     /// Appends the stream to `trace`.
     pub fn emit(&self, trace: &mut Trace) {
+        trace.reserve(self.count as usize);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let lines = self.len_bytes / 64;
         for _ in 0..self.count {
@@ -248,6 +250,7 @@ impl MarkovGen {
 
     /// Appends the stream to `trace`.
     pub fn emit(&self, trace: &mut Trace) {
+        trace.reserve(self.count as usize);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut off = 0u64;
         for _ in 0..self.count {

@@ -28,6 +28,14 @@ impl Trace {
         }
     }
 
+    /// Reserves room for at least `additional` more accesses, so a
+    /// generator that knows its output size can avoid doubling-growth
+    /// reallocations when emitting into an existing trace.
+    #[inline]
+    pub fn reserve(&mut self, additional: usize) {
+        self.accesses.reserve(additional);
+    }
+
     /// Appends an access.
     #[inline]
     pub fn push(&mut self, a: MemAccess) {

@@ -41,7 +41,7 @@ impl Workload for HashJoin {
         let probe: Vec<u64> = (0..2 * n).map(|_| rng.gen_range(0..2 * n as u64)).collect();
         let buckets = (2 * n).next_power_of_two();
 
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_build = rec.alloc(n, 16);
         let r_probe = rec.alloc(2 * n, 16);
         let r_table = rec.alloc(buckets, 16);
@@ -149,7 +149,7 @@ impl Workload for MergeSortJoin {
             n /= 2;
         }
         let mut rng = StdRng::seed_from_u64(scale.seed);
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_a = rec.alloc(n, 8);
         let r_b = rec.alloc(n, 8);
         let r_tmp = rec.alloc(n, 8);

@@ -53,7 +53,7 @@ impl Workload for KMeansWorkload {
         let points = random_points(n, scale.seed);
         let mut centroids: Vec<Vec<f32>> = points[..k].to_vec();
 
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_points = rec.alloc(n * DIM, 4);
         let r_centroids = rec.alloc(k * DIM, 4);
         let r_assign = rec.alloc(n, 4);
@@ -133,7 +133,7 @@ impl Workload for Hnsw {
         // HNSW layer graph's memory behaviour).
         let links: Vec<u32> = (0..n * m).map(|_| rng.gen_range(0..n as u32)).collect();
 
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_points = rec.alloc(n * DIM, 4);
         let r_links = rec.alloc(n * m, 4);
         let r_visited = rec.alloc(n, 1);
@@ -215,7 +215,7 @@ impl Workload for Ivfpq {
         }
         let codes: Vec<u8> = (0..n * sub).map(|_| rng.gen()).collect();
 
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_centroids = rec.alloc(nlist * DIM, 4);
         let r_codes = rec.alloc(n * sub, 1);
         let r_codebook = rec.alloc(sub * 256, 4);

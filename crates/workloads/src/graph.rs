@@ -135,7 +135,7 @@ impl Workload for Bfs {
     fn generate(&self, scale: Scale) -> Trace {
         let g = rmat(scale.n.next_power_of_two(), 16, scale.seed);
         let n = g.num_vertices();
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let (r_off, r_tgt) = alloc_csr(&mut rec, &g);
         let r_visited = rec.alloc(n, 1);
         let r_frontier = rec.alloc(n, 4);
@@ -188,7 +188,7 @@ impl Workload for PageRank {
     fn generate(&self, scale: Scale) -> Trace {
         let g = rmat(scale.n.next_power_of_two(), 16, scale.seed);
         let n = g.num_vertices();
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let (r_off, r_tgt) = alloc_csr(&mut rec, &g);
         let r_rank = rec.alloc(n, 8);
         let r_next = rec.alloc(n, 8);
@@ -242,7 +242,7 @@ impl Workload for Sssp {
         let n = g.num_vertices();
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x55);
         let weights: Vec<u32> = (0..g.num_edges()).map(|_| rng.gen_range(1..16)).collect();
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let (r_off, r_tgt) = alloc_csr(&mut rec, &g);
         let r_w = rec.alloc(weights.len().max(1), 4);
         let r_dist = rec.alloc(n, 4);

@@ -48,6 +48,9 @@ pub struct Recorder {
     next_pc: u64,
     /// Last 64 B line touched per variable, for coalescing.
     last_line: HashMap<u32, u64>,
+    /// Expected total accesses, used to size lane traces in
+    /// [`run_parallel`]; zero means unknown.
+    capacity_hint: usize,
 }
 
 impl Default for Recorder {
@@ -66,6 +69,20 @@ impl Recorder {
             thread: ThreadId(0),
             next_pc: 0x40_0000,
             last_line: HashMap::new(),
+            capacity_hint: 0,
+        }
+    }
+
+    /// A fresh recorder whose trace is pre-sized for roughly `accesses`
+    /// records. Workload generators know their access budget
+    /// ([`crate::Scale::accesses`]), so passing it here removes all
+    /// doubling-growth reallocations from trace capture; the hint also
+    /// sizes the per-lane traces of [`run_parallel`].
+    pub fn with_capacity(accesses: usize) -> Self {
+        Recorder {
+            trace: Trace::with_capacity(accesses),
+            capacity_hint: accesses,
+            ..Recorder::new()
         }
     }
 
@@ -157,7 +174,13 @@ impl Recorder {
             thread,
             next_pc: self.next_pc,
             last_line: HashMap::new(),
+            capacity_hint: 0,
         }
+    }
+
+    /// Reserves room for `additional` more accesses.
+    pub fn reserve(&mut self, additional: usize) {
+        self.trace.reserve(additional);
     }
 }
 
@@ -172,8 +195,10 @@ where
     F: FnMut(usize, &mut Recorder),
 {
     let mut traces = Vec::with_capacity(lanes);
+    let per_lane = parent.capacity_hint / lanes.max(1);
     for lane in 0..lanes {
         let mut rec = parent.fork(ThreadId(lane as u16));
+        rec.reserve(per_lane);
         f(lane, &mut rec);
         traces.push(rec.into_trace());
     }

@@ -29,7 +29,7 @@ impl Workload for Spmv {
         // sparse 0/1 matrix with realistic skew.
         let a = rmat(scale.n.next_power_of_two(), 16, scale.seed);
         let n = a.num_vertices();
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_off = rec.alloc(n + 1, 4);
         let r_col = rec.alloc(a.num_edges().max(1), 4);
         let r_val = rec.alloc(a.num_edges().max(1), 8);
@@ -97,7 +97,7 @@ impl Workload for HistogramBuild {
     fn generate(&self, scale: Scale) -> Trace {
         let n = scale.n * 4;
         let bins = self.bins;
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let r_input = rec.alloc(n, 8);
         let r_bins = rec.alloc(bins, 8);
 

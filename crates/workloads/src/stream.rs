@@ -65,7 +65,7 @@ impl Workload for Stream {
 
     fn generate(&self, scale: Scale) -> Trace {
         let n = scale.n * 8; // elements; 8 B doubles
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let a = rec.alloc(n, 8);
         let b = rec.alloc(n, 8);
         let c = rec.alloc(n, 8);
@@ -123,7 +123,7 @@ impl Workload for PhaseCopy {
     }
 
     fn generate(&self, scale: Scale) -> Trace {
-        let mut rec = Recorder::new();
+        let mut rec = Recorder::with_capacity(scale.accesses);
         let bytes = (scale.n * 64).max(4096);
         let buf = rec.alloc(bytes / 8, 8);
         let half = scale.accesses / 2;

@@ -159,8 +159,63 @@ fn machine_sharded_run_identical_across_thread_counts() {
     let engine = MappingEngine::identity();
     let mut m = Machine::new(MachineConfig::cpu(), geom);
     let serial = m.run(&trace, &engine);
+    assert_eq!(
+        serial,
+        m.run_reference(&trace, &engine),
+        "block driver diverged from the per-request oracle"
+    );
     for threads in [2usize, 3, 8, 32] {
         let got = m.run_with(&trace, &engine, threads);
         assert_eq!(serial, got, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn streamed_trace_replay_identical_serial_and_parallel() {
+    // A trace serialized to the binary format and replayed off the
+    // stream through the bounded-memory driver must reproduce the
+    // in-memory windowed run bit-for-bit — and so must the sharded
+    // parallel driver over the same decoded stream.
+    use sdam_hbm::{HardwareAddr, Hbm, Timing};
+    use sdam_trace::io::{write_trace, TraceReader};
+    use sdam_trace::{MemAccess, Trace};
+
+    let geom = Geometry::hbm2_8gb();
+    let trace: Trace = (0..30_000u64)
+        .map(|i| {
+            let addr = if i % 5 == 0 {
+                (i / 5) * 4096
+            } else {
+                (i * 0x9e37_79b9 * 64) & ((1u64 << 30) - 1)
+            };
+            MemAccess::read(addr, sdam_trace::VariableId((i % 3) as u32))
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).unwrap();
+
+    let decode = |a: u64| geom.decode(HardwareAddr(a));
+    let window = 16usize;
+    let mut hbm = Hbm::new(geom, Timing::hbm2());
+    let serial = hbm.run_open_loop_windowed(trace.iter().map(|a| decode(a.addr)), window);
+
+    for block in [257usize, 4096] {
+        let reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut hbm = Hbm::new(geom, Timing::hbm2());
+        let streamed = hbm.run_open_loop_streaming(
+            reader.map(|r| decode(r.expect("trace corrupt").addr)),
+            window,
+            block,
+        );
+        assert_eq!(
+            serial, streamed,
+            "streamed replay diverged at block {block}"
+        );
+    }
+    for threads in [2usize, 8] {
+        let mut hbm = Hbm::new(geom, Timing::hbm2());
+        let par =
+            hbm.run_open_loop_windowed_par(trace.iter().map(|a| decode(a.addr)), window, threads);
+        assert_eq!(serial, par, "parallel replay diverged at {threads} threads");
     }
 }
