@@ -64,11 +64,40 @@ pub fn collect_run_metrics(
     reg.incr("machine.l1_hits", report.l1_hits);
     report.memory.export_into(&mut reg);
     report.translation.export_into(&mut reg);
+    export_adapt(report, &mut reg);
     if let Some(sys) = sys {
         sys.export_into(&mut reg);
     }
     export_phases(phases, &mut reg);
     reg
+}
+
+/// Exports the adaptive-remapping section of a report under the
+/// `machine.*` namespace: migration totals plus the per-chunk conflict
+/// attribution (`machine.chunk.<n>.*`). Emitted only when the adaptive
+/// driver actually ran, so non-adaptive snapshots — including the
+/// golden fixture — are byte-identical to before the adaptive layer
+/// existed.
+fn export_adapt(report: &ExecutionReport, reg: &mut Registry) {
+    if !report.adapt.enabled {
+        return;
+    }
+    let a = &report.adapt;
+    reg.incr("machine.adapt_windows", a.windows);
+    reg.incr("machine.migrations", a.migrations);
+    reg.incr("machine.migrated_bytes", a.migrated_bytes);
+    reg.incr("machine.migration_requests", a.migration_requests);
+    reg.incr("machine.migration_clocks", a.migration_clocks);
+    reg.incr("machine.migration_row_hits", a.migration_row_hits);
+    reg.incr("machine.migration_row_misses", a.migration_row_misses);
+    reg.incr("machine.migration_row_conflicts", a.migration_row_conflicts);
+    for (chunk, t) in &a.chunk_traffic {
+        reg.incr(&format!("machine.chunk.{chunk}.requests"), t.requests);
+        reg.incr(
+            &format!("machine.chunk.{chunk}.row_conflicts"),
+            t.row_conflicts,
+        );
+    }
 }
 
 /// Folds host wall-clock per phase into the registry's volatile
@@ -137,7 +166,37 @@ mod tests {
                 memo_hits: 30,
                 memo_misses: 10,
             },
+            adapt: Default::default(),
         }
+    }
+
+    #[test]
+    fn adapt_metrics_only_appear_for_adaptive_runs() {
+        let plain = collect_run_metrics(&report(), None, &PhaseTimes::default());
+        if !OBS_ENABLED {
+            assert!(plain.is_empty());
+            return;
+        }
+        assert!(
+            !plain.stable_json().contains("machine.migrations"),
+            "non-adaptive snapshots must not grow adapt keys"
+        );
+        let mut r = report();
+        r.adapt.enabled = true;
+        r.adapt.windows = 3;
+        r.adapt.migrations = 1;
+        r.adapt.chunk_traffic.insert(
+            7,
+            sdam_sys::ChunkTraffic {
+                requests: 40,
+                row_conflicts: 4,
+            },
+        );
+        let reg = collect_run_metrics(&r, None, &PhaseTimes::default());
+        assert_eq!(reg.counter("machine.adapt_windows"), 3);
+        assert_eq!(reg.counter("machine.migrations"), 1);
+        assert_eq!(reg.counter("machine.chunk.7.requests"), 40);
+        assert_eq!(reg.counter("machine.chunk.7.row_conflicts"), 4);
     }
 
     #[test]

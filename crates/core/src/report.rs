@@ -182,6 +182,7 @@ mod tests {
                 mapping_name: config.to_string(),
                 per_core: vec![],
                 translation: sdam_sys::TranslationStats::default(),
+                adapt: Default::default(),
             },
             learning_time: None,
             phases: PhaseTimes::default(),

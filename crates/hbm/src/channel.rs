@@ -94,6 +94,24 @@ impl ChannelSim {
         self.service_core(addr.bank as usize, addr.row, is_write, arrival, timing)
     }
 
+    /// [`ChannelSim::service_in_order_rw`] that also reports how the
+    /// request classified against the row buffer. The adaptive machine
+    /// driver uses the outcome to attribute conflicts to chunks; the
+    /// timing result is bit-identical to the outcome-less path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr.bank` is out of range for this channel.
+    pub fn service_in_order_rw_outcome(
+        &mut self,
+        addr: DecodedAddr,
+        is_write: bool,
+        arrival: Cycle,
+        timing: &Timing,
+    ) -> (Cycle, RowOutcome) {
+        self.service_core_classified(addr.bank as usize, addr.row, is_write, arrival, timing)
+    }
+
     /// The one service path every discipline funnels through: bank
     /// access, bus arbitration (with the write→read turnaround), refresh
     /// stalls, and stats recording. Taking the request as plain columns
@@ -108,6 +126,21 @@ impl ChannelSim {
         arrival: Cycle,
         timing: &Timing,
     ) -> Cycle {
+        self.service_core_classified(bank, row, is_write, arrival, timing)
+            .0
+    }
+
+    /// [`ChannelSim::service_core`] plus the row-buffer classification of
+    /// the served request.
+    #[inline]
+    fn service_core_classified(
+        &mut self,
+        bank: usize,
+        row: u64,
+        is_write: bool,
+        arrival: Cycle,
+        timing: &Timing,
+    ) -> (Cycle, RowOutcome) {
         self.bank_requests[bank] += 1;
         let (data_ready, outcome) = self.banks[bank].access(row, arrival, timing);
         let mut start = data_ready.max(self.bus_free);
@@ -146,7 +179,7 @@ impl ChannelSim {
         let completion = start + timing.t_burst;
         self.bus_free = completion;
         self.record(outcome, completion, timing);
-        completion
+        (completion, outcome)
     }
 
     /// Queues a read request for batch (FR-FCFS) service.

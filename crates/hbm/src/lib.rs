@@ -54,6 +54,7 @@ pub mod stats;
 pub mod timing;
 
 pub use arena::{DrainScratch, RequestArena};
+pub use bank::RowOutcome;
 pub use geometry::{DecodedAddr, Geometry, HardwareAddr};
 pub use sim::{bank_hashed, bank_hashed_block, bank_hashed_reference, Hbm};
 pub use stats::{ChannelStats, SimStats};

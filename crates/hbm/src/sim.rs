@@ -242,6 +242,34 @@ impl Hbm {
         done
     }
 
+    /// [`Hbm::service_effective_rw`] that also reports the row-buffer
+    /// classification (hit / miss / conflict) of the served request.
+    ///
+    /// The timing result and all device statistics are bit-identical to
+    /// the outcome-less path; the extra return value only *observes* the
+    /// classification that [`crate::bank::BankState::access`] already
+    /// computed, so drivers attributing conflicts per chunk pay nothing.
+    ///
+    /// # Panics
+    ///
+    /// As [`Hbm::service`].
+    pub fn service_effective_rw_outcome(
+        &mut self,
+        addr: DecodedAddr,
+        is_write: bool,
+        arrival: Cycle,
+    ) -> (Cycle, crate::bank::RowOutcome) {
+        let (done, outcome) = self.channels[addr.channel as usize].service_in_order_rw_outcome(
+            addr,
+            is_write,
+            arrival,
+            &self.timing,
+        );
+        self.requests += 1;
+        self.makespan = self.makespan.max(done);
+        (done, outcome)
+    }
+
     /// Applies the controller's effective-address transform (the bank
     /// hash, unless disabled) to a block of decoded addresses in place —
     /// the block twin of [`Hbm::effective_addr`].

@@ -460,6 +460,36 @@ impl Cmt {
     pub fn registered_mappings(&self) -> usize {
         self.configs.iter().filter(|c| c.is_some()).count()
     }
+
+    /// The registered mapping ids, in ascending id order. Adaptive
+    /// controllers iterate this to score candidate mappings for a chunk.
+    pub fn registered_ids(&self) -> Vec<MappingId> {
+        self.configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| MappingId(i as u8))
+            .collect()
+    }
+
+    /// Translates a physical address under a *specific* registered
+    /// mapping, ignoring the chunk's current assignment.
+    ///
+    /// Two callers need this: candidate scoring ("where would this
+    /// chunk's traffic land under mapping `id`?") and live migration
+    /// (the destination addresses of a chunk being moved to `id` before
+    /// [`Cmt::assign_chunk`] flips the table entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmtError::UnregisteredMapping`] if `id` has no
+    /// registered configuration.
+    pub fn translate_under(&self, id: MappingId, pa: PhysAddr) -> Result<HardwareAddr, CmtError> {
+        match self.amus[id.index()].as_ref() {
+            Some(amu) => Ok(HardwareAddr(amu.apply(pa.0))),
+            None => Err(CmtError::UnregisteredMapping(id)),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod adapt;
 pub mod cache;
 pub mod error;
 pub mod machine;
 pub mod path;
 
+pub use adapt::{AdaptConfig, AdaptReport, ChunkTraffic, MigrationPlan, RemapController};
 pub use cache::{Cache, CacheConfig};
 pub use error::ConfigError;
 pub use machine::{safe_speedup, ExecutionReport, Machine, MachineConfig};

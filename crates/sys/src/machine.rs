@@ -12,14 +12,18 @@
 //! form.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
 
 use sdam_hbm::channel::ChannelSim;
-use sdam_hbm::{bank_hashed_block, ChannelStats, DecodedAddr, Geometry, Hbm, SimStats, Timing};
-use sdam_mapping::PhysAddr;
+use sdam_hbm::{
+    bank_hashed, bank_hashed_block, ChannelStats, DecodedAddr, Geometry, Hbm, RowOutcome, SimStats,
+    Timing,
+};
+use sdam_mapping::{Cmt, PhysAddr};
 use sdam_trace::Trace;
 
+use crate::adapt::{AdaptConfig, AdaptReport, MigrationPlan, RemapController};
 use crate::cache::{Cache, CacheConfig, CacheOutcome};
 use crate::error::ConfigError;
 use crate::path::{MappingEngine, TranslationCache, TranslationStats};
@@ -166,6 +170,9 @@ pub struct ExecutionReport {
     /// CMT translation counters, summed over the per-core translation
     /// caches in core order. All zero for `Global` engines.
     pub translation: TranslationStats,
+    /// What online adaptation did (all-default for non-adaptive runs,
+    /// so non-adaptive reports compare exactly as before).
+    pub adapt: AdaptReport,
 }
 
 impl ExecutionReport {
@@ -413,7 +420,12 @@ impl Machine {
                 if stage.pas[c].is_empty() {
                     continue;
                 }
-                engine.decode_block(&mut stage.pas[c], self.geometry, cache, &mut stage.decoded[c]);
+                engine.decode_block(
+                    &mut stage.pas[c],
+                    self.geometry,
+                    cache,
+                    &mut stage.decoded[c],
+                );
                 hbm.effective_block(&mut stage.decoded[c]);
             }
 
@@ -469,6 +481,7 @@ impl Machine {
             mapping_name: engine.name().to_string(),
             per_core,
             translation: sum_translation(&caches),
+            adapt: AdaptReport::default(),
         }
     }
 
@@ -549,6 +562,7 @@ impl Machine {
             mapping_name: engine.name().to_string(),
             per_core,
             translation: sum_translation(&caches),
+            adapt: AdaptReport::default(),
         }
     }
 
@@ -801,8 +815,573 @@ impl Machine {
             mapping_name: engine.name().to_string(),
             per_core,
             translation: sum_translation(&caches),
+            adapt: AdaptReport::default(),
         }
     }
+
+    /// [`Machine::run`] with online adaptive remapping: a
+    /// [`RemapController`] watches per-chunk conflict attribution at
+    /// window boundaries and live-migrates mismatched chunks to better
+    /// registered mappings (injecting the migration traffic through the
+    /// device, then flipping the CMT entry — which is why the engine is
+    /// taken mutably).
+    ///
+    /// With `cfg.enabled == false`, or for a non-chunked engine (no
+    /// per-chunk assignment to adapt), this is exactly
+    /// [`Machine::run`] — bit-identical report, `adapt` all-default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid ([`AdaptConfig::validate`]).
+    pub fn run_adaptive(
+        &mut self,
+        trace: &Trace,
+        engine: &mut MappingEngine,
+        cfg: &AdaptConfig,
+    ) -> ExecutionReport {
+        self.run_adaptive_with(trace, engine, cfg, 1)
+    }
+
+    /// [`Machine::run_adaptive`] with the memory device sharded across
+    /// `threads` workers by channel, exactly as [`Machine::run_with`].
+    /// The report is bit-identical to the serial adaptive run: the
+    /// controller consumes only deterministically-merged state (phase-A
+    /// attribution in trace order, commutative outcome folds at the
+    /// boundary), and migration traffic reaches each channel in the
+    /// same order and at the same arrival cycle as serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid ([`AdaptConfig::validate`]).
+    pub fn run_adaptive_with(
+        &mut self,
+        trace: &Trace,
+        engine: &mut MappingEngine,
+        cfg: &AdaptConfig,
+        threads: usize,
+    ) -> ExecutionReport {
+        cfg.validate();
+        if !cfg.enabled || engine.as_chunked().is_none() {
+            return self.run_with(trace, engine, threads);
+        }
+        if threads <= 1 {
+            self.run_adaptive_serial(trace, engine, cfg)
+        } else {
+            self.run_adaptive_sharded(trace, engine, cfg, threads)
+        }
+    }
+
+    /// The serial adaptive driver: [`Machine::run`]'s block phases with
+    /// the controller hooks — per-miss attribution in phase A, outcome
+    /// attribution in phase C (the chunk number survives translation,
+    /// so it is recovered from the translated address), and the window
+    /// boundary (detection + migration) at block edges.
+    fn run_adaptive_serial(
+        &mut self,
+        trace: &Trace,
+        engine: &mut MappingEngine,
+        cfg: &AdaptConfig,
+    ) -> ExecutionReport {
+        let n = self.config.num_cores;
+        let chunk_bits = engine.as_chunked().map_or(0, Cmt::chunk_bits);
+        let mut ctl = RemapController::new(*cfg, chunk_bits, self.geometry);
+        let mut hbm = Hbm::new(self.geometry, self.timing);
+        let mut l1s: Vec<Option<Cache>> = (0..n).map(|_| self.config.l1.map(Cache::new)).collect();
+        let mut llc: Option<Cache> = self.config.llc.map(Cache::new);
+        let mut clocks = vec![0u64; n];
+        let mut outstanding: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut memory_requests = 0u64;
+        let mut l1_hits = 0u64;
+        let mut per_core = vec![CoreStats::default(); n];
+        let mut caches = vec![TranslationCache::default(); n];
+        let lookup = engine.lookup_cycles(&self.timing);
+
+        let mut stage = MissStage::new(n);
+        let mut advance = vec![0u64; n];
+        let mut consumed = vec![0u64; n];
+
+        for block in trace.accesses().chunks(MISS_BLOCK) {
+            // Phase A: cache filter + per-chunk request attribution.
+            stage.clear();
+            advance.fill(0);
+            consumed.fill(0);
+            for a in block {
+                let core = a.thread.index() % n;
+                per_core[core].accesses += 1;
+                advance[core] += self.config.compute_cycles;
+
+                if let Some(l1) = &mut l1s[core] {
+                    if l1.access(a.addr) == CacheOutcome::Hit {
+                        advance[core] += l1.config().hit_latency;
+                        l1_hits += 1;
+                        continue;
+                    }
+                }
+                if let Some(llc) = &mut llc {
+                    if llc.access(a.addr) == CacheOutcome::Hit {
+                        advance[core] += llc.config().hit_latency;
+                        continue;
+                    }
+                }
+
+                memory_requests += 1;
+                per_core[core].misses += 1;
+                stage.push(core, a.addr, a.is_write, advance[core], 0);
+                ctl.note_access(a.addr);
+            }
+
+            // Phase B: batched PA→HA translation, decode, bank hash.
+            for (c, cache) in caches.iter_mut().enumerate().take(n) {
+                if stage.pas[c].is_empty() {
+                    continue;
+                }
+                engine.decode_block(
+                    &mut stage.pas[c],
+                    self.geometry,
+                    cache,
+                    &mut stage.decoded[c],
+                );
+                hbm.effective_block(&mut stage.decoded[c]);
+            }
+
+            // Phase C: clock replay + per-chunk outcome attribution.
+            for &(c, i) in &stage.order {
+                let (c, i) = (c as usize, i as usize);
+                let adv = stage.advances[c][i];
+                clocks[c] += adv - consumed[c];
+                consumed[c] = adv;
+                if outstanding[c].len() >= self.config.mlp_window {
+                    if let Some(oldest) = outstanding[c].pop_front() {
+                        if oldest > clocks[c] {
+                            per_core[c].window_stall_cycles += oldest - clocks[c];
+                            clocks[c] = oldest;
+                        }
+                    }
+                }
+                let issue = clocks[c] + lookup;
+                let (completion, outcome) = hbm.service_effective_rw_outcome(
+                    stage.decoded[c][i],
+                    stage.writes[c][i],
+                    issue,
+                );
+                // The CMT permutes only the chunk-offset window, so the
+                // chunk number is recoverable from the translated
+                // address in `stage.pas` (phase B wrote HAs in place).
+                ctl.note_outcome(
+                    stage.pas[c][i] >> chunk_bits,
+                    stage.decoded[c][i].channel,
+                    outcome,
+                );
+                outstanding[c].push_back(completion);
+                clocks[c] += 1; // issue slot
+            }
+            for c in 0..n {
+                clocks[c] += advance[c] - consumed[c];
+            }
+
+            // Window boundary: detection, then stop-the-world migration.
+            if ctl.block_done(block.len()) {
+                let plans = match engine.as_chunked() {
+                    Some(cmt) => ctl.end_window(cmt),
+                    None => Vec::new(),
+                };
+                if !plans.is_empty() {
+                    let before = clocks.iter().copied().max().unwrap_or(0);
+                    let mut last = before;
+                    for plan in &plans {
+                        let reqs = match engine.as_chunked() {
+                            Some(cmt) => migration_requests_for(cmt, self.geometry, plan),
+                            None => Vec::new(),
+                        };
+                        for &(d, w) in &reqs {
+                            let eff = hbm.effective_addr(d);
+                            let (done, o) = hbm.service_effective_rw_outcome(eff, w, before);
+                            ctl.note_migration_outcome(o);
+                            last = last.max(done);
+                        }
+                        ctl.note_migration(reqs.len() as u64, (reqs.len() as u64 / 2) * 64);
+                        if let Some(cmt) = engine.as_chunked_mut() {
+                            // Infallible: plans only name registered
+                            // mappings and in-range chunks.
+                            let _ = cmt.assign_chunk(plan.chunk, plan.to);
+                        }
+                    }
+                    ctl.note_migration_stall(last - before);
+                    for c in clocks.iter_mut() {
+                        *c = last;
+                    }
+                }
+            }
+        }
+
+        for c in 0..n {
+            let last_mem = outstanding[c].back().copied().unwrap_or(0);
+            if last_mem > clocks[c] {
+                per_core[c].window_stall_cycles += last_mem - clocks[c];
+                clocks[c] = last_mem;
+            }
+            per_core[c].cycles = clocks[c];
+        }
+        let cycles = clocks.iter().copied().max().unwrap_or(0);
+
+        ExecutionReport {
+            cycles,
+            accesses: trace.len() as u64,
+            memory_requests,
+            l1_hits,
+            memory: hbm.stats(),
+            mapping_name: engine.name().to_string(),
+            per_core,
+            translation: sum_translation(&caches),
+            adapt: ctl.into_report(),
+        }
+    }
+
+    /// The channel-sharded adaptive driver. Structure of
+    /// [`Machine::run_sharded`] plus the controller hooks; the three
+    /// adaptive additions preserve bit-identity with the serial
+    /// adaptive driver:
+    ///
+    /// * workers publish each request's row outcome (one byte per
+    ///   slot, stored before the completion's release store) so the
+    ///   boundary can fold the window's outcomes — commutative
+    ///   counters, so fold order vs the serial inline order is moot;
+    /// * at a boundary the driver waits for the window's slots before
+    ///   running the controller, so detection reads exactly the state
+    ///   the serial driver had;
+    /// * migration requests are sent after every workload send of the
+    ///   window, hence reach each channel in the same per-channel
+    ///   order, at the same arrival cycle, as the serial injection.
+    fn run_adaptive_sharded(
+        &mut self,
+        trace: &Trace,
+        engine: &mut MappingEngine,
+        cfg: &AdaptConfig,
+        threads: usize,
+    ) -> ExecutionReport {
+        /// Sentinel: completion not yet published.
+        const PENDING: u64 = u64::MAX;
+
+        let n = self.config.num_cores;
+        let geom = self.geometry;
+        let timing = self.timing;
+        let num_channels = geom.num_channels();
+        let workers = threads.min(num_channels);
+        let lookup = engine.lookup_cycles(&timing);
+        let chunk_bits = engine.as_chunked().map_or(0, Cmt::chunk_bits);
+        let lines_per_chunk = engine.as_chunked().map_or(0, |c| c.chunk_bytes() / 64);
+        let mut ctl = RemapController::new(*cfg, chunk_bits, geom);
+
+        // One completion slot per potential miss, plus room for every
+        // migration request the budget allows.
+        let extra = cfg.max_migrations as usize * 2 * lines_per_chunk as usize;
+        let slots: Vec<AtomicU64> = (0..trace.len() + extra)
+            .map(|_| AtomicU64::new(PENDING))
+            .collect();
+        let slots = &slots[..];
+        // Row outcome per slot (0 = pending): stored by the worker
+        // before the completion slot's release store, so an acquire
+        // load of the completion makes the outcome visible.
+        let outcomes: Vec<AtomicU8> = (0..trace.len() + extra).map(|_| AtomicU8::new(0)).collect();
+        let outcomes = &outcomes[..];
+        let wait_for = |slot: usize| -> u64 {
+            let mut spins = 0u32;
+            loop {
+                let v = slots[slot].load(Ordering::Acquire);
+                if v != PENDING {
+                    return v;
+                }
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        };
+
+        let mut l1s: Vec<Option<Cache>> = (0..n).map(|_| self.config.l1.map(Cache::new)).collect();
+        let mut llc: Option<Cache> = self.config.llc.map(Cache::new);
+        let mut clocks = vec![0u64; n];
+        let mut outstanding: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+        let mut memory_requests = 0u64;
+        let mut l1_hits = 0u64;
+        let mut per_core = vec![CoreStats::default(); n];
+        let mut caches = vec![TranslationCache::default(); n];
+        // The current window's serviced misses: (chunk, channel, slot),
+        // folded into the controller at the boundary.
+        let mut window_pending: Vec<(u64, u64, usize)> = Vec::new();
+        let mut next_mig_slot = trace.len();
+
+        let per_channel = std::thread::scope(|s| {
+            let mut senders: Vec<mpsc::Sender<(usize, DecodedAddr, bool, u64)>> = Vec::new();
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let (tx, rx) = mpsc::channel::<(usize, DecodedAddr, bool, u64)>();
+                senders.push(tx);
+                handles.push(s.spawn(move || {
+                    let owned = (num_channels - w).div_ceil(workers);
+                    let mut chans: Vec<ChannelSim> = (0..owned)
+                        .map(|_| ChannelSim::new(geom.banks_per_channel()))
+                        .collect();
+                    for (slot, addr, is_write, issue) in rx {
+                        let local = addr.channel as usize / workers;
+                        let (done, outcome) = chans[local]
+                            .service_in_order_rw_outcome(addr, is_write, issue, &timing);
+                        outcomes[slot].store(outcome_code(outcome), Ordering::Relaxed);
+                        slots[slot].store(done, Ordering::Release);
+                    }
+                    chans
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, c)| (w + i * workers, c.stats()))
+                        .collect::<Vec<(usize, ChannelStats)>>()
+                }));
+            }
+
+            let mut stage = MissStage::new(n);
+            let mut advance = vec![0u64; n];
+            let mut consumed = vec![0u64; n];
+            for (block_idx, block) in trace.accesses().chunks(MISS_BLOCK).enumerate() {
+                let base_slot = block_idx * MISS_BLOCK;
+                // Phase A: cache filter + per-chunk request attribution.
+                stage.clear();
+                advance.fill(0);
+                consumed.fill(0);
+                for (off, a) in block.iter().enumerate() {
+                    let core = a.thread.index() % n;
+                    per_core[core].accesses += 1;
+                    advance[core] += self.config.compute_cycles;
+
+                    if let Some(l1) = &mut l1s[core] {
+                        if l1.access(a.addr) == CacheOutcome::Hit {
+                            advance[core] += l1.config().hit_latency;
+                            l1_hits += 1;
+                            continue;
+                        }
+                    }
+                    if let Some(llc) = &mut llc {
+                        if llc.access(a.addr) == CacheOutcome::Hit {
+                            advance[core] += llc.config().hit_latency;
+                            continue;
+                        }
+                    }
+
+                    memory_requests += 1;
+                    per_core[core].misses += 1;
+                    stage.push(core, a.addr, a.is_write, advance[core], base_slot + off);
+                    ctl.note_access(a.addr);
+                }
+
+                // Phase B: batched translate/decode + bank hash.
+                for (c, cache) in caches.iter_mut().enumerate().take(n) {
+                    if stage.pas[c].is_empty() {
+                        continue;
+                    }
+                    engine.decode_block(&mut stage.pas[c], geom, cache, &mut stage.decoded[c]);
+                    bank_hashed_block(geom, &mut stage.decoded[c]);
+                }
+
+                // Phase C: clock replay; issues become sends.
+                for &(c, i) in &stage.order {
+                    let (c, i) = (c as usize, i as usize);
+                    let adv = stage.advances[c][i];
+                    clocks[c] += adv - consumed[c];
+                    consumed[c] = adv;
+                    if outstanding[c].len() >= self.config.mlp_window {
+                        if let Some(oldest_slot) = outstanding[c].pop_front() {
+                            let oldest = wait_for(oldest_slot);
+                            if oldest > clocks[c] {
+                                per_core[c].window_stall_cycles += oldest - clocks[c];
+                                clocks[c] = oldest;
+                            }
+                        }
+                    }
+                    let eff = stage.decoded[c][i];
+                    let slot = stage.slots[c][i];
+                    let issue = clocks[c] + lookup;
+                    if senders[eff.channel as usize % workers]
+                        .send((slot, eff, stage.writes[c][i], issue))
+                        .is_err()
+                    {
+                        slots[slot].store(issue, Ordering::Release);
+                    }
+                    window_pending.push((stage.pas[c][i] >> chunk_bits, eff.channel, slot));
+                    outstanding[c].push_back(slot);
+                    clocks[c] += 1; // issue slot
+                }
+                for c in 0..n {
+                    clocks[c] += advance[c] - consumed[c];
+                }
+
+                // Window boundary: fold the window's outcomes, run
+                // detection, inject migrations.
+                if ctl.block_done(block.len()) {
+                    for &(chunk, channel, slot) in &window_pending {
+                        wait_for(slot);
+                        ctl.note_outcome(
+                            chunk,
+                            channel,
+                            outcome_from(outcomes[slot].load(Ordering::Relaxed)),
+                        );
+                    }
+                    window_pending.clear();
+                    let plans = match engine.as_chunked() {
+                        Some(cmt) => ctl.end_window(cmt),
+                        None => Vec::new(),
+                    };
+                    if !plans.is_empty() {
+                        let before = clocks.iter().copied().max().unwrap_or(0);
+                        let mut mig_slots: Vec<usize> = Vec::new();
+                        for plan in &plans {
+                            let reqs = match engine.as_chunked() {
+                                Some(cmt) => migration_requests_for(cmt, geom, plan),
+                                None => Vec::new(),
+                            };
+                            for &(d, w) in &reqs {
+                                let eff = bank_hashed(geom, d);
+                                let slot = next_mig_slot;
+                                next_mig_slot += 1;
+                                if senders[eff.channel as usize % workers]
+                                    .send((slot, eff, w, before))
+                                    .is_err()
+                                {
+                                    slots[slot].store(before, Ordering::Release);
+                                }
+                                mig_slots.push(slot);
+                            }
+                            ctl.note_migration(reqs.len() as u64, (reqs.len() as u64 / 2) * 64);
+                            if let Some(cmt) = engine.as_chunked_mut() {
+                                // Infallible: plans only name registered
+                                // mappings and in-range chunks.
+                                let _ = cmt.assign_chunk(plan.chunk, plan.to);
+                            }
+                        }
+                        let mut last = before;
+                        for slot in mig_slots {
+                            let done = wait_for(slot);
+                            last = last.max(done);
+                            ctl.note_migration_outcome(outcome_from(
+                                outcomes[slot].load(Ordering::Relaxed),
+                            ));
+                        }
+                        ctl.note_migration_stall(last - before);
+                        for c in clocks.iter_mut() {
+                            *c = last;
+                        }
+                    }
+                }
+            }
+            // The trailing partial window never reaches a boundary, but
+            // its outcomes still belong in the cumulative attribution
+            // (the serial driver noted them inline in phase C).
+            for &(chunk, channel, slot) in &window_pending {
+                wait_for(slot);
+                ctl.note_outcome(
+                    chunk,
+                    channel,
+                    outcome_from(outcomes[slot].load(Ordering::Relaxed)),
+                );
+            }
+            window_pending.clear();
+            drop(senders); // workers drain and exit
+
+            let mut per_channel = vec![ChannelStats::default(); num_channels];
+            for h in handles {
+                match h.join() {
+                    Ok(list) => {
+                        for (ch, stats) in list {
+                            per_channel[ch] = stats;
+                        }
+                    }
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+            per_channel
+        });
+
+        for c in 0..n {
+            let last_mem = outstanding[c].back().map(|&s| wait_for(s)).unwrap_or(0);
+            if last_mem > clocks[c] {
+                per_core[c].window_stall_cycles += last_mem - clocks[c];
+                clocks[c] = last_mem;
+            }
+            per_core[c].cycles = clocks[c];
+        }
+        let cycles = clocks.iter().copied().max().unwrap_or(0);
+
+        let makespan = per_channel
+            .iter()
+            .map(|c| c.last_completion)
+            .max()
+            .unwrap_or(0);
+        let adapt = ctl.into_report();
+        ExecutionReport {
+            cycles,
+            accesses: trace.len() as u64,
+            memory_requests,
+            l1_hits,
+            memory: SimStats {
+                requests: memory_requests + adapt.migration_requests,
+                makespan,
+                per_channel,
+                timing,
+            },
+            mapping_name: engine.name().to_string(),
+            per_core,
+            translation: sum_translation(&caches),
+            adapt,
+        }
+    }
+}
+
+/// Encodes a row outcome for the sharded drivers' per-slot byte
+/// (0 is reserved for "pending").
+fn outcome_code(o: RowOutcome) -> u8 {
+    match o {
+        RowOutcome::Hit => 1,
+        RowOutcome::Miss => 2,
+        RowOutcome::Conflict => 3,
+    }
+}
+
+/// Decodes [`outcome_code`]. An unpublished byte (a dead worker's
+/// fallback slot) reads as a hit; that path only occurs when a worker
+/// panicked, and the panic resurfaces at join before the report is
+/// used.
+fn outcome_from(code: u8) -> RowOutcome {
+    match code {
+        2 => RowOutcome::Miss,
+        3 => RowOutcome::Conflict,
+        _ => RowOutcome::Hit,
+    }
+}
+
+/// The migration traffic for one plan: every line of the chunk is read
+/// at its address under the old mapping and written at its address
+/// under the new one, interleaved per line, in line order. Decoded but
+/// *not* bank-hashed (callers apply their driver's hash step).
+fn migration_requests_for(
+    cmt: &Cmt,
+    geom: Geometry,
+    plan: &MigrationPlan,
+) -> Vec<(DecodedAddr, bool)> {
+    let lines = cmt.chunk_bytes() / 64;
+    let base = plan.chunk << cmt.chunk_bits();
+    let mut out = Vec::with_capacity(2 * lines as usize);
+    for l in 0..lines {
+        let pa = PhysAddr(base | (l << 6));
+        let (Ok(src), Ok(dst)) = (
+            cmt.translate_under(plan.from, pa),
+            cmt.translate_under(plan.to, pa),
+        ) else {
+            // Unreachable: plans only name registered mappings.
+            continue;
+        };
+        out.push((geom.decode(src), false));
+        out.push((geom.decode(dst), true));
+    }
+    out
 }
 
 #[cfg(test)]

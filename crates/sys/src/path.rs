@@ -165,6 +165,25 @@ impl MappingEngine {
             MappingEngine::Chunked(_) => "SDAM",
         }
     }
+
+    /// The chunk-mapping table, if this engine runs the chunked path.
+    /// Adaptive remapping is only meaningful on the chunked path — a
+    /// global mapping has no per-chunk assignment to flip.
+    pub fn as_chunked(&self) -> Option<&Cmt> {
+        match self {
+            MappingEngine::Global(_) => None,
+            MappingEngine::Chunked(cmt) => Some(cmt),
+        }
+    }
+
+    /// Mutable twin of [`MappingEngine::as_chunked`], used by the
+    /// adaptive driver to `assign_chunk` after migrating a chunk.
+    pub fn as_chunked_mut(&mut self) -> Option<&mut Cmt> {
+        match self {
+            MappingEngine::Global(_) => None,
+            MappingEngine::Chunked(cmt) => Some(cmt),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,26 @@ impl Trace {
         self.accesses.extend_from_slice(&other.accesses);
     }
 
+    /// Shortens the trace to at most `len` accesses, dropping the tail.
+    pub fn truncate(&mut self, len: usize) {
+        self.accesses.truncate(len);
+    }
+
+    /// Splices a sequence of traces into one, back to back, preserving
+    /// each segment's internal order — the building block for
+    /// phase-change workloads (pattern A, then pattern B).
+    pub fn concat<I>(segments: I) -> Trace
+    where
+        I: IntoIterator<Item = Trace>,
+    {
+        let mut out = Trace::new();
+        for seg in segments {
+            out.reserve(seg.len());
+            out.accesses.extend(seg.accesses);
+        }
+        out
+    }
+
     /// The sub-trace of one thread, in order — one lane's view of a
     /// multi-threaded trace (lane interleaving otherwise masks
     /// per-thread strides).

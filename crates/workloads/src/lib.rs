@@ -39,6 +39,7 @@ pub mod analytics;
 pub mod ann;
 pub mod datacopy;
 pub mod graph;
+pub mod phased;
 pub mod recorder;
 pub mod sparse;
 pub mod stream;

@@ -1,0 +1,129 @@
+//! Online adaptive remapping on a phase-change workload.
+//!
+//! A static mapping is chosen once; a workload that switches its access
+//! pattern mid-run therefore pays full price for whichever phase the
+//! mapping was not chosen for. This example sweeps the switch point of
+//! a two-phase stride workload (unit stride → 32-line stride over the
+//! same 4 MB footprint) and compares:
+//!
+//! * the two static mappings (boot-time identity, and an AMU config
+//!   declared for the 32-line stride),
+//! * the adaptive driver, which starts on identity, attributes row
+//!   conflicts per chunk, and live-migrates the hot chunks when the
+//!   second phase pins them to one channel — paying the migration
+//!   traffic inside the reported cycles.
+//!
+//! ```text
+//! cargo run --release --example adaptive
+//! ```
+
+use sdam_hbm::Geometry;
+use sdam_mapping::descriptor::MappingDescriptor;
+use sdam_mapping::{Cmt, MappingId};
+use sdam_sys::{AdaptConfig, ExecutionReport, Machine, MachineConfig, MappingEngine};
+use sdam_workloads::phased::{Phased, StrideLoop};
+use sdam_workloads::{Scale, Workload};
+
+/// The shared footprint both phases wrap within: 4 MB = two 2 MB chunks.
+const REGION: u64 = 4 << 20;
+const LANES: u16 = 4;
+const CHUNK_BITS: u32 = 21;
+
+fn fresh_cmt(geom: Geometry) -> Result<Cmt, Box<dyn std::error::Error>> {
+    let mut cmt = Cmt::new(geom.addr_bits(), CHUNK_BITS);
+    // Mapping 1: channel selection driven by bits 11..16 — the bits a
+    // 32-line (2 KB) stride actually varies (declared as in the
+    // custom_mapping example, scoped to the 2 MB chunk window).
+    let perm = MappingDescriptor::new(geom)
+        .channel_bits([11, 12, 13, 14, 15])
+        .compile_windowed(CHUNK_BITS)?;
+    cmt.register(MappingId(1), &perm);
+    Ok(cmt)
+}
+
+/// A CMT with every chunk of the footprint pre-assigned to `id`.
+fn static_cmt(geom: Geometry, id: MappingId) -> Result<Cmt, Box<dyn std::error::Error>> {
+    let mut cmt = fresh_cmt(geom)?;
+    for chunk in 0..REGION >> CHUNK_BITS {
+        cmt.assign_chunk(chunk, id)?;
+    }
+    Ok(cmt)
+}
+
+fn run_static(
+    geom: Geometry,
+    trace: &sdam_trace::Trace,
+    id: MappingId,
+) -> Result<ExecutionReport, Box<dyn std::error::Error>> {
+    let engine = MappingEngine::Chunked(static_cmt(geom, id)?);
+    let mut m = Machine::new(MachineConfig::accelerator(), geom);
+    Ok(m.run(trace, &engine))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geom = Geometry::hbm2_8gb();
+    let scale = Scale {
+        n: 1 << 14,
+        accesses: 1 << 17,
+        seed: 1,
+    };
+    let cfg = AdaptConfig::default();
+
+    println!(
+        "phase-change sweep: stride-1 -> stride-32 over {} MB, {} lanes, {} accesses",
+        REGION >> 20,
+        LANES,
+        scale.accesses
+    );
+    println!(
+        "{:>6}  {:>12} {:>12} {:>12} {:>12}  {:>4} {:>10}  verdict",
+        "switch", "identity", "stride-map", "best-static", "adaptive", "migs", "mig-clk"
+    );
+
+    for switch in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let w = Phased::new(
+            Box::new(StrideLoop::new(1, REGION, LANES)),
+            Box::new(StrideLoop::new(32, REGION, LANES)),
+            switch,
+        );
+        let trace = w.generate(scale);
+
+        let identity = run_static(geom, &trace, MappingId(0))?;
+        let tuned = run_static(geom, &trace, MappingId(1))?;
+        let best_static = identity.cycles.min(tuned.cycles);
+
+        let mut engine = MappingEngine::Chunked(fresh_cmt(geom)?);
+        let mut m = Machine::new(MachineConfig::accelerator(), geom);
+        let adaptive = m.run_adaptive(&trace, &mut engine, &cfg);
+
+        let verdict = if adaptive.cycles < best_static {
+            format!(
+                "adaptive wins by {:.1}%",
+                100.0 * (best_static - adaptive.cycles) as f64 / best_static as f64
+            )
+        } else {
+            format!(
+                "static wins by {:.1}%",
+                100.0 * (adaptive.cycles - best_static) as f64 / adaptive.cycles as f64
+            )
+        };
+        println!(
+            "{:>6.2}  {:>12} {:>12} {:>12} {:>12}  {:>4} {:>10}  {}",
+            switch,
+            identity.cycles,
+            tuned.cycles,
+            best_static,
+            adaptive.cycles,
+            adaptive.adapt.migrations,
+            adaptive.adapt.migration_clocks,
+            verdict
+        );
+    }
+
+    println!(
+        "\nadaptive pays for detection (sustained windows) plus the migration\n\
+         traffic itself; the later the phase change, the less conflicted tail\n\
+         is left to amortize it — the break-even point is where the verdict flips."
+    );
+    Ok(())
+}

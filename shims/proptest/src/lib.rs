@@ -137,6 +137,20 @@ pub mod strategy {
         }
     }
 
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),*) => {
+            impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+                type Value = ($($s::Value,)*);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {

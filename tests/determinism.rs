@@ -4,10 +4,13 @@
 
 use sdam::{pipeline, Experiment, Parallelism, SystemConfig};
 use sdam_hbm::Geometry;
-use sdam_sys::{Machine, MachineConfig, MappingEngine};
+use sdam_mapping::descriptor::MappingDescriptor;
+use sdam_mapping::{Cmt, MappingId};
+use sdam_sys::{AdaptConfig, Machine, MachineConfig, MappingEngine};
 use sdam_trace::ThreadId;
 use sdam_workloads::datacopy::DataCopy;
-use sdam_workloads::Workload;
+use sdam_workloads::phased::{Phased, StrideLoop};
+use sdam_workloads::{Scale, Workload};
 
 fn serial_exp() -> Experiment {
     Experiment {
@@ -167,6 +170,85 @@ fn machine_sharded_run_identical_across_thread_counts() {
     for threads in [2usize, 3, 8, 32] {
         let got = m.run_with(&trace, &engine, threads);
         assert_eq!(serial, got, "{threads} threads diverged");
+    }
+}
+
+/// The phase-change scenario of `examples/adaptive.rs`, sized down for
+/// a test: unit stride flipping to a 32-line stride mid-run over a 4 MB
+/// wrapped footprint, on a CMT with the boot identity and a declared
+/// stride-32 mapping registered.
+fn adaptive_scenario() -> (sdam_trace::Trace, impl Fn() -> MappingEngine) {
+    let geom = Geometry::hbm2_8gb();
+    let w = Phased::new(
+        Box::new(StrideLoop::new(1, 4 << 20, 4)),
+        Box::new(StrideLoop::new(32, 4 << 20, 4)),
+        0.5,
+    );
+    let trace = w.generate(Scale {
+        n: 1 << 12,
+        accesses: 60_000,
+        seed: 1,
+    });
+    // The adaptive driver mutates the CMT (assign_chunk on migration),
+    // so every run needs a fresh engine.
+    let engine = move || {
+        let mut cmt = Cmt::new(geom.addr_bits(), 21);
+        let perm = MappingDescriptor::new(geom)
+            .channel_bits([11, 12, 13, 14, 15])
+            .compile_windowed(21)
+            .unwrap();
+        cmt.register(MappingId(1), &perm);
+        MappingEngine::Chunked(cmt)
+    };
+    (trace, engine)
+}
+
+#[test]
+fn adaptive_run_identical_across_thread_counts() {
+    // The adaptive controller reads only deterministically-merged state,
+    // so the full report — cycles, per-channel stats, and the adapt
+    // section with its per-chunk attribution and migration log — must be
+    // bit-identical between the serial driver and the channel-sharded
+    // one at every thread count.
+    let geom = Geometry::hbm2_8gb();
+    let (trace, engine) = adaptive_scenario();
+    let cfg = AdaptConfig::default();
+    let mut m = Machine::new(MachineConfig::accelerator(), geom);
+    let mut serial_engine = engine();
+    let serial = m.run_adaptive(&trace, &mut serial_engine, &cfg);
+    assert!(
+        serial.adapt.migrations > 0,
+        "the scenario must actually migrate, or the test proves nothing"
+    );
+    for threads in [1usize, 2, 8] {
+        let mut e = engine();
+        let got = m.run_adaptive_with(&trace, &mut e, &cfg, threads);
+        assert_eq!(serial, got, "adaptive run diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn adaptive_disabled_is_bit_identical_to_plain_run() {
+    // `AdaptConfig::disabled()` must leave the driver untouched: the
+    // report equals `Machine::run`'s bit for bit (adapt all-default),
+    // and the engine is not mutated.
+    let geom = Geometry::hbm2_8gb();
+    let (trace, engine) = adaptive_scenario();
+    let mut m = Machine::new(MachineConfig::accelerator(), geom);
+    let plain_engine = engine();
+    let plain = m.run(&trace, &plain_engine);
+    let mut e = engine();
+    let disabled = m.run_adaptive(&trace, &mut e, &AdaptConfig::disabled());
+    assert_eq!(plain, disabled);
+    assert!(!disabled.adapt.enabled);
+    assert_eq!(disabled.adapt, Default::default());
+    for threads in [2usize, 8] {
+        let mut e = engine();
+        let got = m.run_adaptive_with(&trace, &mut e, &AdaptConfig::disabled(), threads);
+        assert_eq!(
+            plain, got,
+            "disabled adaptive diverged at {threads} threads"
+        );
     }
 }
 

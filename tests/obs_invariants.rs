@@ -153,6 +153,83 @@ fn identities_hold_on_the_flagship_configs() {
 }
 
 #[test]
+fn adaptive_identities_partition_workload_and_migration_traffic() {
+    // The adaptive layer's conservation identities, on a run that
+    // actually migrates. Migration traffic is injected into the same
+    // HBM the workload uses, so the device totals must split exactly
+    // into the workload part (attributed per chunk) and the migration
+    // part (counted separately) — nothing double-counted, nothing lost.
+    use sdam::metrics::collect_run_metrics;
+    use sdam_hbm::Geometry;
+    use sdam_mapping::descriptor::MappingDescriptor;
+    use sdam_mapping::{Cmt, MappingId};
+    use sdam_sys::{AdaptConfig, Machine, MachineConfig, MappingEngine};
+    use sdam_workloads::phased::{Phased, StrideLoop};
+    use sdam_workloads::{Scale, Workload};
+
+    let geom = Geometry::hbm2_8gb();
+    let w = Phased::new(
+        Box::new(StrideLoop::new(1, 4 << 20, 4)),
+        Box::new(StrideLoop::new(32, 4 << 20, 4)),
+        0.5,
+    );
+    let trace = w.generate(Scale {
+        n: 1 << 12,
+        accesses: 60_000,
+        seed: 1,
+    });
+    let mut cmt = Cmt::new(geom.addr_bits(), 21);
+    let perm = MappingDescriptor::new(geom)
+        .channel_bits([11, 12, 13, 14, 15])
+        .compile_windowed(21)
+        .unwrap();
+    cmt.register(MappingId(1), &perm);
+    let mut engine = MappingEngine::Chunked(cmt);
+    let mut m = Machine::new(MachineConfig::accelerator(), geom);
+    let report = m.run_adaptive(&trace, &mut engine, &AdaptConfig::default());
+    assert!(report.adapt.migrations > 0, "the run must migrate");
+    let reg = collect_run_metrics(&report, None, &sdam::PhaseTimes::default());
+
+    // Identity 5: per-chunk workload attribution covers exactly the
+    // machine's memory requests...
+    assert_eq!(
+        prefixed_sum(&reg, "machine.chunk.", ".requests"),
+        reg.counter("machine.memory_requests"),
+        "per-chunk request attribution must cover every workload miss"
+    );
+    // ...and workload + migration requests partition the device total.
+    assert_eq!(
+        reg.counter("machine.memory_requests") + reg.counter("machine.migration_requests"),
+        reg.counter("hbm.requests"),
+        "workload and migration requests must partition the HBM total"
+    );
+
+    // Identity 6: row conflicts split the same way — per-chunk workload
+    // conflicts plus migration conflicts equal the device total.
+    assert_eq!(
+        prefixed_sum(&reg, "machine.chunk.", ".row_conflicts")
+            + reg.counter("machine.migration_row_conflicts"),
+        reg.counter("hbm.row_conflicts"),
+        "per-chunk conflict attribution plus migration conflicts must \
+         equal the device's row conflicts"
+    );
+    // Migration requests are themselves fully classified.
+    assert_eq!(
+        reg.counter("machine.migration_row_hits")
+            + reg.counter("machine.migration_row_misses")
+            + reg.counter("machine.migration_row_conflicts"),
+        reg.counter("machine.migration_requests"),
+        "row outcomes must partition the migration requests"
+    );
+    // Moved bytes are whole chunks.
+    assert_eq!(
+        reg.counter("machine.migrated_bytes"),
+        reg.counter("machine.migrations") * (2 << 20),
+        "each migration moves exactly one 2 MB chunk"
+    );
+}
+
+#[test]
 fn comparison_merges_runs_and_cache_counters() {
     let w = DataCopy::new(vec![16]);
     let cmp = pipeline::compare(

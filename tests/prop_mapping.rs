@@ -79,6 +79,46 @@ proptest! {
     }
 
     #[test]
+    fn block_memo_never_stale_after_midstream_remap(
+        t1 in perm_table(15),
+        t2 in perm_table(15),
+        script in proptest::collection::vec(
+            (0u64..8, 0u8..2, proptest::collection::vec(0u64..(8 << 21), 1..64)),
+            1..8,
+        ),
+    ) {
+        // The adaptive driver reconfigures the CMT *between* translated
+        // blocks (assign_chunk on migration, try_register when a new
+        // candidate is installed). The block fast path memoizes chunk
+        // runs, so each reconfiguration must invalidate the memo via the
+        // epoch bump: a stale memo would silently translate a chunk
+        // under its pre-migration mapping.
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(1), &BitPermutation::new(6, t1).unwrap());
+        let mut cache = sdam_mapping::CmtLookupCache::default();
+        for (step, (chunk, id, addrs)) in script.into_iter().enumerate() {
+            // Mid-stream reconfiguration: every odd step re-registers
+            // mapping 1 with a different permutation, every step
+            // reassigns some chunk.
+            if step % 2 == 1 {
+                cmt.try_register(MappingId(1), &BitPermutation::new(6, t2.clone()).unwrap())
+                    .unwrap();
+            }
+            cmt.assign_chunk(chunk, MappingId(id)).unwrap();
+            let mut block = addrs.clone();
+            cmt.translate_block_cached(&mut block, &mut cache);
+            for (got, pa) in block.iter().zip(&addrs) {
+                prop_assert_eq!(
+                    HardwareAddr(*got),
+                    cmt.translate(PhysAddr(*pa)),
+                    "stale memo after reconfiguration at step {}",
+                    step
+                );
+            }
+        }
+    }
+
+    #[test]
     fn selection_always_yields_valid_permutation(
         rates in proptest::collection::vec(0.0f64..=1.0, 33),
     ) {
