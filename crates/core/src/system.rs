@@ -57,6 +57,18 @@ struct Process {
     malloc: MultiHeapMalloc,
 }
 
+/// Monotonic counters of processes that have already exited, folded in
+/// at teardown so `export_into` stays conservation-safe (a process
+/// exiting never makes a `mem.*` accumulator go backwards).
+#[derive(Debug, Default)]
+struct RetiredCounters {
+    page_faults: u64,
+    alloc_calls: u64,
+    free_calls: u64,
+    heaps_created: u64,
+    processes_exited: u64,
+}
+
 /// The software-defined-address-mapping system: shared physical
 /// memory, chunk groups, and CMT, plus one or more processes each with
 /// its own address space and mapping-aware heap allocator.
@@ -64,10 +76,16 @@ struct Process {
 pub struct SdamSystem {
     geometry: Geometry,
     phys: ChunkAllocator,
-    processes: Vec<Process>,
+    /// Slot table: `None` marks an exited process whose pid is on
+    /// `free_pids` awaiting reuse, so long tenant churn keeps the table
+    /// (and every per-pid lookup) bounded by the peak live count.
+    processes: Vec<Option<Process>>,
+    /// Pids of exited processes, reused LIFO by `spawn_process`.
+    free_pids: Vec<u32>,
     cmt: Cmt,
     page_bits: u32,
     registered: Vec<MappingId>,
+    retired: RetiredCounters,
     /// Structured allocation/CMT event trace. All pushes happen on the
     /// system's serial mutation paths (`malloc_in`, `touch_in`), so the
     /// order is deterministic by construction; with the `obs` feature
@@ -110,13 +128,15 @@ impl SdamSystem {
         Ok(SdamSystem {
             geometry,
             phys: ChunkAllocator::new(geometry.addr_bits(), chunk_bits, page_bits),
-            processes: vec![Process {
+            processes: vec![Some(Process {
                 aspace: AddressSpace::new(page_bits),
                 malloc: MultiHeapMalloc::new(page_bits),
-            }],
+            })],
+            free_pids: Vec::new(),
             cmt,
             page_bits,
             registered: vec![MappingId::DEFAULT],
+            retired: RetiredCounters::default(),
             events: EventRing::with_capacity(if OBS_ENABLED {
                 DEFAULT_RING_CAPACITY
             } else {
@@ -129,22 +149,71 @@ impl SdamSystem {
     /// that share this system's physical memory, chunk groups, and CMT
     /// (the paper's §4: "the physical memory space ... is globally
     /// shared by all the processes"). Every registered mapping is
-    /// visible in the new process.
+    /// visible in the new process. Pids of exited processes are reused
+    /// (LIFO), so the process table stays bounded by the peak live
+    /// count under tenant churn.
     pub fn spawn_process(&mut self) -> ProcessId {
         let mut malloc = MultiHeapMalloc::new(self.page_bits);
         for &id in &self.registered {
             malloc.register_external(id);
         }
-        self.processes.push(Process {
+        let process = Process {
             aspace: AddressSpace::new(self.page_bits),
             malloc,
-        });
-        ProcessId(self.processes.len() as u32 - 1)
+        };
+        let pid = if let Some(pid) = self.free_pids.pop() {
+            self.processes[pid as usize] = Some(process);
+            pid
+        } else {
+            self.processes.push(Some(process));
+            self.processes.len() as u32 - 1
+        };
+        ProcessId(pid)
     }
 
-    /// Number of live processes (at least 1).
+    /// Tears a process down: every VMA is unmapped, all resident frames
+    /// return to their chunk groups (emptied chunks go back to the
+    /// global free list and the CMT reverts them to the default
+    /// mapping), and the pid becomes reusable by
+    /// [`SdamSystem::spawn_process`]. The process's monotonic counters
+    /// fold into the system totals, so `mem.*` accumulators never move
+    /// backwards across an exit.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::UnknownProcess`] for a pid that was never spawned or
+    /// has already exited.
+    pub fn exit_process(&mut self, pid: ProcessId) -> Result<(), MemError> {
+        let Some(Some(p)) = self.processes.get_mut(pid.0 as usize) else {
+            return Err(MemError::UnknownProcess { pid: pid.0 });
+        };
+        p.aspace.clear(&mut self.phys)?;
+        self.sync_cmt(pid)?;
+        let Some(Some(p)) = self.processes.get_mut(pid.0 as usize) else {
+            return Err(MemError::UnknownProcess { pid: pid.0 });
+        };
+        self.retired.page_faults += p.aspace.page_fault_count();
+        self.retired.alloc_calls += p.malloc.alloc_calls();
+        self.retired.free_calls += p.malloc.free_calls();
+        self.retired.heaps_created += p.malloc.heaps_created();
+        self.retired.processes_exited += 1;
+        self.processes[pid.0 as usize] = None;
+        self.free_pids.push(pid.0);
+        if OBS_ENABLED {
+            self.events
+                .push("sys.process_exit", &[("pid", u64::from(pid.0))]);
+        }
+        Ok(())
+    }
+
+    /// Number of live processes.
     pub fn process_count(&self) -> usize {
-        self.processes.len()
+        self.processes.iter().flatten().count()
+    }
+
+    /// Processes that have exited over the system's lifetime.
+    pub fn processes_exited(&self) -> u64 {
+        self.retired.processes_exited
     }
 
     /// The device geometry.
@@ -214,14 +283,79 @@ impl SdamSystem {
                 chunk_bits: self.cmt.chunk_bits(),
             }));
         }
-        // Ids are global: the CMT is shared by every process.
-        let id = self.processes[0].malloc.add_addr_map()?;
-        for p in &mut self.processes[1..] {
+        // Ids are global: the CMT is shared by every process, so the
+        // CMT's recycling free list is the single id authority. Ids
+        // released by `remove_mapping` are reused in O(1).
+        let id = self
+            .cmt
+            .allocate_id()
+            .map_err(|_| SdamError::Mem(MemError::MappingIdsExhausted))?;
+        for p in self.processes.iter_mut().flatten() {
             p.malloc.register_external(id);
         }
         self.registered.push(id);
         self.cmt.try_register(id, perm)?;
         Ok(id)
+    }
+
+    /// Removes a mapping registered with [`SdamSystem::add_mapping`],
+    /// recycling its id: the mapping's (empty) heaps are retired in
+    /// every process, its chunk group must already have drained back to
+    /// the free list, and the CMT slot is unregistered — after which
+    /// [`SdamSystem::add_mapping`] reuses the id for the next tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::UnknownMapping`] for the default id or one never
+    /// registered; [`MemError::MappingInUse`] while any process still
+    /// holds live allocations under the mapping or chunks remain
+    /// assigned to it (free the allocations and unmap the heaps first —
+    /// [`SdamSystem::exit_process`] does both for a whole tenant).
+    pub fn remove_mapping(&mut self, id: MappingId) -> Result<(), MemError> {
+        if id == MappingId::DEFAULT || !self.registered.contains(&id) {
+            return Err(MemError::UnknownMapping(id));
+        }
+        // Pre-check every process before mutating any, so a failure
+        // leaves the system untouched.
+        for p in self.processes.iter().flatten() {
+            if p.malloc.is_registered(id) && p.malloc.live_bytes(id) > 0 {
+                return Err(MemError::MappingInUse(id));
+            }
+        }
+        // Unmap the mapping's (allocation-free) heap VMAs so resident
+        // pages of freed allocations release their chunks.
+        for pid in 0..self.processes.len() as u32 {
+            let Some(Some(p)) = self.processes.get_mut(pid as usize) else {
+                continue;
+            };
+            let starts: Vec<VirtAddr> = p
+                .aspace
+                .areas()
+                .filter(|a| a.mapping == id)
+                .map(|a| a.start)
+                .collect();
+            for start in starts {
+                p.aspace.munmap(start, &mut self.phys)?;
+            }
+            self.sync_cmt(ProcessId(pid))?;
+            let Some(Some(p)) = self.processes.get_mut(pid as usize) else {
+                continue;
+            };
+            if p.malloc.is_registered(id) {
+                p.malloc.remove_addr_map(id)?;
+            }
+        }
+        // All chunks drained: the CMT slot can retire and recycle.
+        self.cmt.unregister(id).map_err(|e| match e {
+            sdam_mapping::CmtError::MappingInUse { id, .. } => MemError::MappingInUse(id),
+            _ => MemError::UnknownMapping(id),
+        })?;
+        self.registered.retain(|&m| m != id);
+        if OBS_ENABLED {
+            self.events
+                .push("sys.mapping_removed", &[("mapping", u64::from(id.0))]);
+        }
+        Ok(())
     }
 
     /// Allocates `size` bytes under `mapping` (default mapping when
@@ -234,10 +368,12 @@ impl SdamSystem {
         self.malloc_in(ProcessId(0), size, mapping)
     }
 
-    /// Looks up a process, rejecting pids this system never handed out.
+    /// Looks up a process, rejecting pids this system never handed out
+    /// and pids whose process has exited.
     fn process_mut(&mut self, pid: ProcessId) -> Result<&mut Process, MemError> {
         self.processes
             .get_mut(pid.0 as usize)
+            .and_then(Option::as_mut)
             .ok_or(MemError::UnknownProcess { pid: pid.0 })
     }
 
@@ -297,7 +433,7 @@ impl SdamSystem {
         size: u64,
         mapping: Option<MappingId>,
     ) -> Result<VirtAddr, MemError> {
-        let p = &mut self.processes[0];
+        let p = self.process_mut(ProcessId(0))?;
         let va = p.malloc.malloc_sensitive(size, mapping)?;
         let regions = p.malloc.drain_new_heaps();
         for region in &regions {
@@ -379,7 +515,53 @@ impl SdamSystem {
     ///
     /// [`MemError::BadFree`] for invalid pointers.
     pub fn free(&mut self, va: VirtAddr) -> Result<(), MemError> {
-        self.processes[0].malloc.free(va)
+        self.free_in(ProcessId(0), va)
+    }
+
+    /// [`SdamSystem::free`] in a specific process.
+    ///
+    /// # Errors
+    ///
+    /// As [`SdamSystem::free`], plus [`MemError::UnknownProcess`] for a
+    /// pid this system never returned.
+    pub fn free_in(&mut self, pid: ProcessId, va: VirtAddr) -> Result<(), MemError> {
+        self.process_mut(pid)?.malloc.free(va)
+    }
+
+    /// Maps an anonymous region of `len` bytes under `mapping` in a
+    /// specific process (the raw `mmap` path, below malloc). Pages are
+    /// demand-paged on first touch, exactly like heap pages.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::UnknownMapping`] for an unregistered mapping,
+    /// [`MemError::InvalidSize`] for zero length, plus
+    /// [`MemError::UnknownProcess`].
+    pub fn mmap_in(
+        &mut self,
+        pid: ProcessId,
+        len: u64,
+        mapping: MappingId,
+    ) -> Result<VirtAddr, MemError> {
+        if !self.registered.contains(&mapping) {
+            return Err(MemError::UnknownMapping(mapping));
+        }
+        self.process_mut(pid)?.aspace.mmap(len, mapping)
+    }
+
+    /// Unmaps the area starting at `start` in a specific process,
+    /// releasing resident frames (and emptied chunks) immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::BadAddress`] if no area starts there, plus
+    /// [`MemError::UnknownProcess`].
+    pub fn munmap_in(&mut self, pid: ProcessId, start: VirtAddr) -> Result<(), MemError> {
+        let Some(Some(p)) = self.processes.get_mut(pid.0 as usize) else {
+            return Err(MemError::UnknownProcess { pid: pid.0 });
+        };
+        p.aspace.munmap(start, &mut self.phys)?;
+        self.sync_cmt(pid)
     }
 
     /// Translates a virtual address to a physical address, demand-paging
@@ -400,10 +582,21 @@ impl SdamSystem {
     /// As [`SdamSystem::touch`], plus [`MemError::UnknownProcess`] for
     /// a pid this system never returned.
     pub fn touch_in(&mut self, pid: ProcessId, va: VirtAddr) -> Result<PhysAddr, MemError> {
-        let Some(p) = self.processes.get_mut(pid.0 as usize) else {
+        let Some(Some(p)) = self.processes.get_mut(pid.0 as usize) else {
             return Err(MemError::UnknownProcess { pid: pid.0 });
         };
         let pa = p.aspace.access(va, &mut self.phys)?;
+        self.sync_cmt(pid)?;
+        Ok(pa)
+    }
+
+    /// Drains a process's queued chunk events into the CMT — shared by
+    /// every path that can acquire or release chunks (faults, unmaps,
+    /// process exit, mapping removal).
+    fn sync_cmt(&mut self, pid: ProcessId) -> Result<(), MemError> {
+        let Some(Some(p)) = self.processes.get_mut(pid.0 as usize) else {
+            return Err(MemError::UnknownProcess { pid: pid.0 });
+        };
         for ev in p.aspace.drain_events() {
             // The allocator only hands out registered mappings, so the
             // CMT writes cannot fail; surface a failure as the mapping
@@ -431,7 +624,7 @@ impl SdamSystem {
                 }
             }
         }
-        Ok(pa)
+        Ok(())
     }
 
     /// Full translation: VA → PA → HA → device coordinates.
@@ -456,20 +649,48 @@ impl SdamSystem {
 
     /// The mapping id of the allocation containing `va`.
     pub fn mapping_of(&self, va: VirtAddr) -> Option<MappingId> {
-        self.processes[0].malloc.mapping_of(va)
+        self.processes[0].as_ref()?.malloc.mapping_of(va)
     }
 
-    /// Demand-paging fault count so far (all processes).
+    /// Demand-paging fault count so far (live processes plus every
+    /// process that has exited).
     pub fn page_faults(&self) -> u64 {
-        self.processes
-            .iter()
-            .map(|p| p.aspace.page_fault_count())
-            .sum()
+        self.retired.page_faults
+            + self
+                .processes
+                .iter()
+                .flatten()
+                .map(|p| p.aspace.page_fault_count())
+                .sum::<u64>()
     }
 
     /// Internal fragmentation in stranded pages (paper §4's bound).
     pub fn fragmentation_pages(&self) -> u64 {
         self.phys.internal_fragmentation_pages()
+    }
+
+    /// Fragmentation read straight off the flat allocator columns:
+    /// free-list length, longest contiguous free run, guard count,
+    /// stranded pages.
+    pub fn fragmentation_stats(&self) -> sdam_mem::phys::FragmentationStats {
+        self.phys.fragmentation_stats()
+    }
+
+    /// Chunks ever claimed from the global free list.
+    pub fn chunks_claimed(&self) -> u64 {
+        self.phys.chunks_claimed()
+    }
+
+    /// Chunks ever released back to the global free list.
+    pub fn chunks_released(&self) -> u64 {
+        self.phys.chunks_released()
+    }
+
+    /// Chunks currently held by some chunk group. The conservation
+    /// identity `chunks_claimed() - chunks_released() == in_use_chunks()`
+    /// holds at all times.
+    pub fn in_use_chunks(&self) -> u64 {
+        self.phys.in_use_chunks()
     }
 
     /// Page size in bytes.
@@ -490,11 +711,16 @@ impl SdamSystem {
     /// run was parallelized (allocation itself is always serial).
     pub fn export_into(&self, reg: &mut Registry) {
         self.phys.export_into(reg);
-        for p in &self.processes {
+        for p in self.processes.iter().flatten() {
             p.malloc.export_into(reg);
         }
+        // Exited processes folded in, so the accumulators stay
+        // monotonic across tenant churn.
+        reg.incr("mem.alloc_calls", self.retired.alloc_calls);
+        reg.incr("mem.free_calls", self.retired.free_calls);
+        reg.incr("mem.heaps_created", self.retired.heaps_created);
         reg.incr("mem.page_faults", self.page_faults());
-        reg.incr("mem.processes", self.processes.len() as u64);
+        reg.incr("mem.processes", self.process_count() as u64);
         reg.events_mut().merge(&self.events);
     }
 }
@@ -643,6 +869,99 @@ mod tests {
                 "neighbour chunk leaked"
             );
         }
+    }
+
+    #[test]
+    fn exit_process_releases_chunks_and_recycles_pids() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 0, 2)).unwrap();
+        let free_before = sys.fragmentation_stats().free_chunks;
+        let p1 = sys.spawn_process();
+        let va = sys.malloc_in(p1, 64 * 4096, Some(id)).unwrap();
+        for page in 0..64u64 {
+            sys.touch_in(p1, VirtAddr(va.raw() + page * 4096)).unwrap();
+        }
+        assert!(sys.in_use_chunks() > 0);
+        let faults_before_exit = sys.page_faults();
+        sys.exit_process(p1).unwrap();
+        // All the tenant's chunks drained back to the free list, the
+        // conservation identity holds, and the counters survive.
+        assert_eq!(sys.fragmentation_stats().free_chunks, free_before);
+        assert_eq!(sys.chunks_claimed() - sys.chunks_released(), 0);
+        assert_eq!(sys.page_faults(), faults_before_exit);
+        assert_eq!(sys.process_count(), 1);
+        assert_eq!(sys.processes_exited(), 1);
+        // Dead pid rejected everywhere; the slot is then reused.
+        assert!(matches!(
+            sys.malloc_in(p1, 64, None),
+            Err(MemError::UnknownProcess { .. })
+        ));
+        assert!(sys.exit_process(p1).is_err());
+        let p2 = sys.spawn_process();
+        assert_eq!(p2, p1, "pid slot recycled");
+        assert!(sys.malloc_in(p2, 64, Some(id)).is_ok());
+    }
+
+    #[test]
+    fn remove_mapping_recycles_the_global_id() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 0, 2)).unwrap();
+        let va = sys.malloc(4096, Some(id)).unwrap();
+        sys.touch(va).unwrap();
+        // Live allocation blocks removal.
+        assert_eq!(
+            sys.remove_mapping(id).unwrap_err(),
+            MemError::MappingInUse(id)
+        );
+        sys.free(va).unwrap();
+        // Freed but still resident: removal unmaps the empty heap and
+        // drains the chunk group.
+        sys.remove_mapping(id).unwrap();
+        assert_eq!(sys.in_use_chunks(), 0);
+        assert!(matches!(
+            sys.malloc(64, Some(id)),
+            Err(MemError::UnknownMapping(_))
+        ));
+        // The id recycles for the next tenant's mapping.
+        let id2 = sys.add_mapping(&swap_perm(&sys, 0, 3)).unwrap();
+        assert_eq!(id2, id);
+        // Guards: default and unknown ids are rejected.
+        assert!(sys.remove_mapping(MappingId::DEFAULT).is_err());
+        assert!(sys.remove_mapping(MappingId(200)).is_err());
+    }
+
+    #[test]
+    fn mapping_churn_never_exhausts_ids() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        for round in 0..600usize {
+            let id = sys
+                .add_mapping(&swap_perm(&sys, round % 14, (round + 1) % 14 + 1))
+                .unwrap();
+            let pid = sys.spawn_process();
+            let va = sys.malloc_in(pid, 8192, Some(id)).unwrap();
+            sys.touch_in(pid, va).unwrap();
+            sys.exit_process(pid).unwrap();
+            sys.remove_mapping(id).unwrap();
+        }
+        assert_eq!(sys.process_count(), 1);
+        assert_eq!(sys.in_use_chunks(), 0);
+        assert_eq!(sys.processes_exited(), 600);
+    }
+
+    #[test]
+    fn mmap_munmap_lifecycle_in_process() {
+        let mut sys = SdamSystem::new(Geometry::hbm2_8gb(), 21);
+        let id = sys.add_mapping(&swap_perm(&sys, 1, 3)).unwrap();
+        let pid = sys.spawn_process();
+        let va = sys.mmap_in(pid, 16 * 4096, id).unwrap();
+        sys.touch_in(pid, va).unwrap();
+        assert!(sys.in_use_chunks() > 0);
+        sys.munmap_in(pid, va).unwrap();
+        assert_eq!(sys.in_use_chunks(), 0);
+        assert!(sys.touch_in(pid, va).is_err(), "unmapped range faults");
+        // Unknown mapping and bad addresses are rejected.
+        assert!(sys.mmap_in(pid, 4096, MappingId(99)).is_err());
+        assert!(sys.munmap_in(pid, VirtAddr(42)).is_err());
     }
 
     #[test]

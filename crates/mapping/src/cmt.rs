@@ -35,6 +35,17 @@ pub enum CmtError {
     },
     /// The mapping id has no registered crossbar configuration.
     UnregisteredMapping(MappingId),
+    /// All 256 mapping-id slots are simultaneously live; none can be
+    /// allocated until one is unregistered.
+    MappingIdsExhausted,
+    /// The mapping cannot be unregistered: chunks are still assigned to
+    /// it (or it is the permanent default mapping, id 0).
+    MappingInUse {
+        /// The mapping that is still live.
+        id: MappingId,
+        /// Chunks currently assigned to it.
+        assigned_chunks: u64,
+    },
     /// The chunk size does not subdivide the physical space, or its
     /// offset window (above the 6 line-offset bits) is empty or exceeds
     /// the AMU's 21-bit crossbar.
@@ -68,6 +79,17 @@ impl std::fmt::Display for CmtError {
             CmtError::UnregisteredMapping(id) => {
                 write!(f, "mapping {id} has no registered AMU configuration")
             }
+            CmtError::MappingIdsExhausted => {
+                write!(f, "all 256 mapping-id slots are registered")
+            }
+            CmtError::MappingInUse {
+                id,
+                assigned_chunks,
+            } => write!(
+                f,
+                "mapping {id} still has {assigned_chunks} chunks assigned (the default \
+                 mapping can never be unregistered)"
+            ),
             CmtError::InvalidChunkBits {
                 chunk_bits,
                 phys_bits,
@@ -141,6 +163,21 @@ pub struct Cmt {
     /// (identity is its own inverse, so one fallback serves both
     /// directions).
     fallback_amu: Amu,
+    /// Recyclable id slots (LIFO). [`Cmt::allocate_id`] pops,
+    /// [`Cmt::unregister`] pushes, so register → unregister → register
+    /// reuses slots in O(1) and long-uptime churn never exhausts the
+    /// 8-bit id space.
+    free_ids: Vec<u8>,
+    /// Membership column for `free_ids` (an id directly registered
+    /// while still on the stack is lazily skipped when popped).
+    in_free: Vec<bool>,
+    /// Chunks currently assigned per mapping id; unregistration is
+    /// refused while non-zero, so no chunk can ever point at an empty
+    /// slot and stale-id translation stays a typed error.
+    assigned: Vec<u64>,
+    /// Registered ids in ascending order, maintained incrementally —
+    /// the allocation-free view behind [`Cmt::registered_ids_slice`].
+    ids_cache: Vec<MappingId>,
 }
 
 /// A one-entry memo of the last chunk→mapping lookup, for the
@@ -231,6 +268,10 @@ impl Cmt {
         inverse_amus[0] = Some(Amu::new(identity.invert()));
         let fallback_amu = Amu::new(identity.clone());
         amus[0] = Some(Amu::new(identity));
+        let mut assigned = vec![0u64; MAX_MAPPINGS];
+        assigned[0] = chunks as u64;
+        let mut in_free = vec![true; MAX_MAPPINGS];
+        in_free[0] = false;
         Ok(Cmt {
             phys_bits,
             chunk_bits,
@@ -240,6 +281,12 @@ impl Cmt {
             inverse_amus,
             epoch: 0,
             fallback_amu,
+            // Reverse order so pops hand out 1, 2, 3, … while the
+            // stack top always holds the most recently recycled id.
+            free_ids: (1..=u8::MAX).rev().collect(),
+            in_free,
+            assigned,
+            ids_cache: vec![MappingId(0)],
         })
     }
 
@@ -301,11 +348,80 @@ impl Cmt {
                 chunk_bits: self.chunk_bits,
             });
         }
+        if self.configs[id.index()].is_none() {
+            let pos = self.ids_cache.partition_point(|&m| m < id);
+            self.ids_cache.insert(pos, id);
+        }
         self.configs[id.index()] = Some(AmuConfig::pack(perm));
         self.inverse_amus[id.index()] = Some(Amu::new(perm.invert()));
         self.amus[id.index()] = Some(Amu::new(perm.clone()));
         self.epoch += 1;
         Ok(())
+    }
+
+    /// Reserves a currently-unregistered mapping id, in O(1) amortized
+    /// off the recycling free list. The caller follows up with
+    /// [`Cmt::register`] to install a configuration; a reserved id is
+    /// never handed out twice, even before that registration lands.
+    /// Unregistered ids return to the free list and are reused LIFO.
+    ///
+    /// # Errors
+    ///
+    /// [`CmtError::MappingIdsExhausted`] when 255 non-default ids are
+    /// simultaneously reserved or registered.
+    pub fn allocate_id(&mut self) -> Result<MappingId, CmtError> {
+        while let Some(id) = self.free_ids.pop() {
+            self.in_free[id as usize] = false;
+            // Ids registered directly (without allocate_id) may still
+            // sit on the stack from construction; skip them lazily.
+            if self.configs[id as usize].is_none() {
+                return Ok(MappingId(id));
+            }
+        }
+        Err(CmtError::MappingIdsExhausted)
+    }
+
+    /// Unregisters a mapping and recycles its id for a later
+    /// [`Cmt::allocate_id`]. The epoch bump invalidates every
+    /// outstanding [`CmtLookupCache`] memo, so no stream can keep
+    /// translating through the retired slot; translation *under* the
+    /// retired id ([`Cmt::translate_under`]) becomes the typed
+    /// [`CmtError::UnregisteredMapping`] error.
+    ///
+    /// # Errors
+    ///
+    /// [`CmtError::UnregisteredMapping`] for an id with no
+    /// configuration; [`CmtError::MappingInUse`] while chunks are still
+    /// assigned to the mapping, and always for the default id 0 (the
+    /// boot-time identity must stay translatable).
+    pub fn unregister(&mut self, id: MappingId) -> Result<(), CmtError> {
+        if self.configs[id.index()].is_none() {
+            return Err(CmtError::UnregisteredMapping(id));
+        }
+        if id.0 == 0 || self.assigned[id.index()] > 0 {
+            return Err(CmtError::MappingInUse {
+                id,
+                assigned_chunks: self.assigned[id.index()],
+            });
+        }
+        self.configs[id.index()] = None;
+        self.amus[id.index()] = None;
+        self.inverse_amus[id.index()] = None;
+        if let Ok(pos) = self.ids_cache.binary_search(&id) {
+            self.ids_cache.remove(pos);
+        }
+        if !self.in_free[id.index()] {
+            self.in_free[id.index()] = true;
+            self.free_ids.push(id.0);
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Chunks currently assigned to a mapping. The conservation
+    /// identity `sum over ids == num_chunks()` holds at all times.
+    pub fn assigned_chunks(&self, id: MappingId) -> u64 {
+        self.assigned[id.index()]
     }
 
     /// Assigns a chunk to a registered mapping. Models the kernel's
@@ -325,6 +441,9 @@ impl Cmt {
         if self.configs[id.index()].is_none() {
             return Err(CmtError::UnregisteredMapping(id));
         }
+        let old = self.chunk_index[chunk as usize] as usize;
+        self.assigned[old] -= 1;
+        self.assigned[id.index()] += 1;
         self.chunk_index[chunk as usize] = id.0;
         self.epoch += 1;
         Ok(())
@@ -458,18 +577,22 @@ impl Cmt {
 
     /// Number of distinct mapping ids currently registered.
     pub fn registered_mappings(&self) -> usize {
-        self.configs.iter().filter(|c| c.is_some()).count()
+        self.ids_cache.len()
     }
 
     /// The registered mapping ids, in ascending id order. Adaptive
     /// controllers iterate this to score candidate mappings for a chunk.
+    /// Prefer [`Cmt::registered_ids_slice`] on hot paths — this clones.
     pub fn registered_ids(&self) -> Vec<MappingId> {
-        self.configs
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_some())
-            .map(|(i, _)| MappingId(i as u8))
-            .collect()
+        self.ids_cache.clone()
+    }
+
+    /// The registered mapping ids in ascending id order, as a borrowed
+    /// slice — maintained incrementally on register/unregister, so
+    /// per-window scoring loops iterate candidates with zero allocation.
+    #[inline]
+    pub fn registered_ids_slice(&self) -> &[MappingId] {
+        &self.ids_cache
     }
 
     /// Translates a physical address under a *specific* registered
@@ -764,5 +887,146 @@ mod tests {
     fn wrong_window_rejected() {
         let mut cmt = Cmt::new(33, 21);
         cmt.register(MappingId(1), &BitPermutation::identity(6, 8));
+    }
+
+    #[test]
+    fn allocate_id_hands_out_fresh_slots_and_recycles_lifo() {
+        let mut cmt = Cmt::new(33, 21);
+        let a = cmt.allocate_id().unwrap();
+        let b = cmt.allocate_id().unwrap();
+        assert_eq!(a, MappingId(1));
+        assert_eq!(b, MappingId(2));
+        cmt.register(a, &swap_perm(0, 1, 15));
+        cmt.register(b, &swap_perm(0, 2, 15));
+        cmt.unregister(a).unwrap();
+        cmt.unregister(b).unwrap();
+        // LIFO: the most recently released id comes back first.
+        assert_eq!(cmt.allocate_id().unwrap(), b);
+        assert_eq!(cmt.allocate_id().unwrap(), a);
+    }
+
+    #[test]
+    fn id_churn_never_exhausts_under_the_cap() {
+        let mut cmt = Cmt::new(33, 21);
+        for round in 0..10_000u32 {
+            let id = cmt.allocate_id().unwrap();
+            cmt.register(id, &swap_perm(0, 1 + (round as usize % 14), 15));
+            cmt.unregister(id).unwrap();
+        }
+        assert_eq!(cmt.registered_mappings(), 1);
+    }
+
+    #[test]
+    fn allocate_id_exhausts_with_typed_error() {
+        let mut cmt = Cmt::new(33, 21);
+        for _ in 1..=255 {
+            let id = cmt.allocate_id().unwrap();
+            cmt.register(id, &swap_perm(0, 1, 15));
+        }
+        assert_eq!(
+            cmt.allocate_id().unwrap_err(),
+            CmtError::MappingIdsExhausted
+        );
+        assert_eq!(cmt.registered_mappings(), 256);
+    }
+
+    #[test]
+    fn allocate_id_skips_directly_registered_ids() {
+        let mut cmt = Cmt::new(33, 21);
+        // Ids 1 and 2 claimed out of band (the legacy register path).
+        cmt.register(MappingId(1), &swap_perm(0, 1, 15));
+        cmt.register(MappingId(2), &swap_perm(0, 2, 15));
+        assert_eq!(cmt.allocate_id().unwrap(), MappingId(3));
+    }
+
+    #[test]
+    fn unregister_guards_live_and_default_mappings() {
+        let mut cmt = Cmt::new(33, 21);
+        assert_eq!(
+            cmt.unregister(MappingId(9)).unwrap_err(),
+            CmtError::UnregisteredMapping(MappingId(9))
+        );
+        // The default mapping owns every chunk at boot and can never go.
+        assert!(matches!(
+            cmt.unregister(MappingId(0)).unwrap_err(),
+            CmtError::MappingInUse { .. }
+        ));
+        let id = cmt.allocate_id().unwrap();
+        cmt.register(id, &swap_perm(0, 1, 15));
+        cmt.assign_chunk(4, id).unwrap();
+        assert_eq!(
+            cmt.unregister(id).unwrap_err(),
+            CmtError::MappingInUse {
+                id,
+                assigned_chunks: 1
+            }
+        );
+        // Reassigning the chunk away releases the hold.
+        cmt.assign_chunk(4, MappingId(0)).unwrap();
+        cmt.unregister(id).unwrap();
+        assert_eq!(
+            cmt.translate_under(id, PhysAddr(64)).unwrap_err(),
+            CmtError::UnregisteredMapping(id)
+        );
+    }
+
+    #[test]
+    fn assigned_chunks_conserve_across_reassignment() {
+        let mut cmt = Cmt::new(33, 21);
+        let id = cmt.allocate_id().unwrap();
+        cmt.register(id, &swap_perm(0, 1, 15));
+        let total = cmt.num_chunks();
+        assert_eq!(cmt.assigned_chunks(MappingId(0)), total);
+        for c in 0..5 {
+            cmt.assign_chunk(c, id).unwrap();
+        }
+        assert_eq!(cmt.assigned_chunks(id), 5);
+        assert_eq!(cmt.assigned_chunks(MappingId(0)), total - 5);
+        cmt.assign_chunk(0, MappingId(0)).unwrap();
+        assert_eq!(cmt.assigned_chunks(id), 4);
+        assert_eq!(
+            cmt.assigned_chunks(MappingId(0)) + cmt.assigned_chunks(id),
+            total
+        );
+    }
+
+    #[test]
+    fn recycled_id_never_serves_stale_memo() {
+        // A lookup memo warmed under the old tenant's registration must
+        // not survive unregister → allocate_id → register of the same
+        // numeric id: the epoch bump forces a fresh table walk.
+        let mut cmt = Cmt::new(33, 21);
+        let id = cmt.allocate_id().unwrap();
+        cmt.register(id, &swap_perm(0, 1, 15));
+        cmt.assign_chunk(0, id).unwrap();
+        let mut cache = CmtLookupCache::default();
+        let pa = PhysAddr(1 << 6);
+        assert_eq!(cmt.translate_cached(pa, &mut cache).raw(), 1 << 7);
+        cmt.assign_chunk(0, MappingId(0)).unwrap();
+        cmt.unregister(id).unwrap();
+        let id2 = cmt.allocate_id().unwrap();
+        assert_eq!(id2, id, "slot should recycle");
+        cmt.register(id2, &swap_perm(0, 2, 15));
+        // Chunk 0 is back on the default mapping; the stale memo would
+        // have translated through the retired slot's old AMU.
+        assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
+        assert_eq!(cmt.translate_cached(pa, &mut cache).raw(), 1 << 6);
+    }
+
+    #[test]
+    fn registered_ids_slice_tracks_register_and_unregister() {
+        let mut cmt = Cmt::new(33, 21);
+        cmt.register(MappingId(9), &swap_perm(0, 1, 15));
+        cmt.register(MappingId(3), &swap_perm(0, 2, 15));
+        assert_eq!(
+            cmt.registered_ids_slice(),
+            &[MappingId(0), MappingId(3), MappingId(9)]
+        );
+        assert_eq!(cmt.registered_ids(), cmt.registered_ids_slice().to_vec());
+        cmt.unregister(MappingId(3)).unwrap();
+        assert_eq!(cmt.registered_ids_slice(), &[MappingId(0), MappingId(9)]);
+        // Re-registration is idempotent on the cache.
+        cmt.register(MappingId(9), &swap_perm(0, 3, 15));
+        assert_eq!(cmt.registered_ids_slice(), &[MappingId(0), MappingId(9)]);
     }
 }

@@ -4,6 +4,16 @@
 //! chunks and for returning empty chunks to the global pool (§6.1,
 //! "Physical Page Allocator"). This is that allocator: blocks of
 //! `2^order` pages, split on demand, coalesced with their buddy on free.
+//!
+//! Two implementations live here. [`BuddyAllocator`] keeps each order's
+//! free list as a block-indexed [`BitSet`] column, so alloc/free/coalesce
+//! are word operations with zero heap allocation after construction.
+//! [`BuddyAllocatorReference`] is the original `BTreeSet`-based version,
+//! retained as the golden oracle: both pick the same block for every
+//! request (smallest sufficient order, then lowest offset) and panic on
+//! the same misuse, which the equivalence tests below pin down.
+
+use crate::bitset::BitSet;
 
 /// A buddy allocator managing `2^max_order` pages.
 ///
@@ -28,8 +38,9 @@
 #[derive(Debug, Clone)]
 pub struct BuddyAllocator {
     max_order: u32,
-    /// free_lists[order] = sorted set of free block offsets of that order.
-    free_lists: Vec<std::collections::BTreeSet<u64>>,
+    /// `free_lists[order]` = set of free block *indices* of that order
+    /// (block index `b` is the block at page offset `b << order`).
+    free_lists: Vec<BitSet>,
     allocated_pages: u64,
 }
 
@@ -41,7 +52,9 @@ impl BuddyAllocator {
     /// Panics if `max_order > 30`.
     pub fn new(max_order: u32) -> Self {
         assert!(max_order <= 30, "unreasonable buddy region");
-        let mut free_lists = vec![std::collections::BTreeSet::new(); (max_order + 1) as usize];
+        let mut free_lists: Vec<BitSet> = (0..=max_order)
+            .map(|o| BitSet::with_capacity(1u64 << (max_order - o)))
+            .collect();
         free_lists[max_order as usize].insert(0);
         BuddyAllocator {
             max_order,
@@ -92,7 +105,131 @@ impl BuddyAllocator {
         }
         // Find the smallest order >= requested with a free block.
         let from = (order..=self.max_order).find(|&o| !self.free_lists[o as usize].is_empty())?;
-        let mut offset = *self.free_lists[from as usize].iter().next()?;
+        let blk = self.free_lists[from as usize].first()?;
+        self.free_lists[from as usize].remove(blk);
+        let offset = blk << from;
+        // Split down to the requested order, keeping the low half.
+        let mut o = from;
+        while o > order {
+            o -= 1;
+            let buddy = offset + (1u64 << o);
+            self.free_lists[o as usize].insert(buddy >> o);
+        }
+        self.allocated_pages += 1u64 << order;
+        Some(offset)
+    }
+
+    /// Frees the block of `2^order` pages at `offset`, coalescing with
+    /// free buddies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is misaligned for its order, out of range, or
+    /// already free (double free).
+    pub fn free(&mut self, offset: u64, order: u32) {
+        assert!(order <= self.max_order, "order out of range");
+        assert_eq!(offset % (1u64 << order), 0, "misaligned free");
+        assert!(offset < self.total_pages(), "offset out of range");
+        // Double-free detection: the block, or any free block that
+        // contains it (after earlier coalescing), must not be free.
+        for o in order..=self.max_order {
+            let aligned = offset & !((1u64 << o) - 1);
+            assert!(
+                !self.free_lists[o as usize].contains(aligned >> o),
+                "double free of block {offset} order {order}"
+            );
+        }
+        let Some(remaining) = self.allocated_pages.checked_sub(1u64 << order) else {
+            panic!("freeing more than allocated");
+        };
+        self.allocated_pages = remaining;
+        let mut offset = offset;
+        let mut order = order;
+        while order < self.max_order {
+            let buddy = offset ^ (1u64 << order);
+            if !self.free_lists[order as usize].remove(buddy >> order) {
+                break;
+            }
+            offset = offset.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(offset >> order);
+    }
+
+    /// The largest order currently allocatable.
+    pub fn largest_free_order(&self) -> Option<u32> {
+        (0..=self.max_order)
+            .rev()
+            .find(|&o| !self.free_lists[o as usize].is_empty())
+    }
+}
+
+/// The original `BTreeSet`-backed buddy allocator, kept verbatim as the
+/// golden oracle for [`BuddyAllocator`]. Same picks, same panics — only
+/// the free-list representation differs.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocatorReference {
+    max_order: u32,
+    /// free_lists[order] = sorted set of free block offsets of that order.
+    free_lists: Vec<std::collections::BTreeSet<u64>>,
+    allocated_pages: u64,
+}
+
+impl BuddyAllocatorReference {
+    /// Creates an allocator over `2^max_order` pages, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order > 30`.
+    pub fn new(max_order: u32) -> Self {
+        assert!(max_order <= 30, "unreasonable buddy region");
+        let mut free_lists = vec![std::collections::BTreeSet::new(); (max_order + 1) as usize];
+        free_lists[max_order as usize].insert(0);
+        BuddyAllocatorReference {
+            max_order,
+            free_lists,
+            allocated_pages: 0,
+        }
+    }
+
+    /// Total pages managed.
+    #[inline]
+    pub fn total_pages(&self) -> u64 {
+        1u64 << self.max_order
+    }
+
+    /// Pages currently allocated.
+    #[inline]
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated_pages
+    }
+
+    /// Pages currently free.
+    #[inline]
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages() - self.allocated_pages
+    }
+
+    /// True when nothing is allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.allocated_pages == 0
+    }
+
+    /// True when every page is allocated.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.allocated_pages == self.total_pages()
+    }
+
+    /// Allocates a block of `2^order` pages, returning its page offset.
+    pub fn alloc(&mut self, order: u32) -> Option<u64> {
+        if order > self.max_order {
+            return None;
+        }
+        // Find the smallest order >= requested with a free block.
+        let from = (order..=self.max_order).find(|&o| !self.free_lists[o as usize].is_empty())?;
+        let offset = *self.free_lists[from as usize].iter().next()?;
         self.free_lists[from as usize].remove(&offset);
         // Split down to the requested order, keeping the low half.
         let mut o = from;
@@ -101,7 +238,6 @@ impl BuddyAllocator {
             let buddy = offset + (1u64 << o);
             self.free_lists[o as usize].insert(buddy);
         }
-        let _ = &mut offset;
         self.allocated_pages += 1u64 << order;
         Some(offset)
     }
@@ -217,6 +353,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "double free")]
+    fn reference_double_free_panics() {
+        let mut b = BuddyAllocatorReference::new(2);
+        let p = b.alloc(1).unwrap();
+        b.free(p, 1);
+        b.free(p, 1);
+    }
+
+    #[test]
     fn interleaved_alloc_free_keeps_accounting() {
         let mut b = BuddyAllocator::new(5);
         let mut live: Vec<(u64, u32)> = Vec::new();
@@ -232,6 +377,40 @@ mod tests {
             }
             let live_pages: u64 = live.iter().map(|&(_, o)| 1u64 << o).sum();
             assert_eq!(b.allocated_pages(), live_pages);
+        }
+    }
+
+    #[test]
+    fn matches_reference_under_interleaved_ops() {
+        // Deterministic LCG drives an alloc/free interleaving over both
+        // implementations; every pick and every counter must agree.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut fast = BuddyAllocator::new(6);
+        let mut oracle = BuddyAllocatorReference::new(6);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for _ in 0..4_000 {
+            if next() % 3 != 0 || live.is_empty() {
+                let order = (next() % 4) as u32;
+                let a = fast.alloc(order);
+                let b = oracle.alloc(order);
+                assert_eq!(a, b, "alloc({order}) diverged");
+                if let Some(p) = a {
+                    live.push((p, order));
+                }
+            } else {
+                let i = (next() as usize) % live.len();
+                let (p, o) = live.swap_remove(i);
+                fast.free(p, o);
+                oracle.free(p, o);
+            }
+            assert_eq!(fast.allocated_pages(), oracle.allocated_pages());
+            assert_eq!(fast.largest_free_order(), oracle.largest_free_order());
         }
     }
 }

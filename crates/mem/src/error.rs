@@ -23,6 +23,9 @@ pub enum MemError {
     UnknownMapping(MappingId),
     /// No more mapping ids available (the CMT index is 8 bits).
     MappingIdsExhausted,
+    /// The mapping still owns live state (allocations, chunks or
+    /// registrations) and cannot be removed yet.
+    MappingInUse(MappingId),
     /// The requested size is zero or exceeds what a single heap can hold.
     InvalidSize {
         /// The offending size.
@@ -49,6 +52,9 @@ impl std::fmt::Display for MemError {
             MemError::BadFree(a) => write!(f, "invalid free of {a}"),
             MemError::UnknownMapping(id) => write!(f, "mapping {id} was never registered"),
             MemError::MappingIdsExhausted => write!(f, "all 256 mapping ids are in use"),
+            MemError::MappingInUse(id) => {
+                write!(f, "mapping {id} still owns live state")
+            }
             MemError::InvalidSize { size } => write!(f, "invalid allocation size {size}"),
             MemError::UnknownProcess { pid } => write!(f, "process {pid} is not live"),
         }

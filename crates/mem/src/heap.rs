@@ -8,11 +8,18 @@
 //! data of exactly one mapping* — the property that lets the kernel back
 //! each heap with chunks of a single chunk group.
 //!
-//! Inside a heap we run a first-fit free-list allocator with coalescing
-//! (a faithful stand-in for glibc's bins at the granularity that matters
-//! here).
-
-use std::collections::BTreeMap;
+//! Inside a heap we run a first-fit allocator with coalescing (a
+//! faithful stand-in for glibc's bins at the granularity that matters
+//! here), in the same flat indexed idiom as the chunk allocator: blocks
+//! live in a node arena threaded by address-order links (coalescing is
+//! two link updates, never a tree walk), the free blocks are a flat
+//! index list scanned for the lowest-address fit, and live allocations
+//! resolve through an open-addressing table instead of a `BTreeMap`.
+//! The heap-for-address lookup is a binary search over the (monotonic)
+//! region starts, and each heap carries an upper bound on its largest
+//! free block so full heaps are skipped without touching their free
+//! lists. Mapping ids recycle through a free list under the 256-entry
+//! limit, mirroring the CMT's recycling rule.
 
 use sdam_mapping::MappingId;
 
@@ -34,6 +41,9 @@ pub const MAX_ALLOC_BYTES: u64 = 1 << 40;
 /// Allocation alignment in bytes.
 const ALIGN: u64 = 16;
 
+/// Null link in the block arena.
+const NIL: u32 = u32::MAX;
+
 /// A heap region: what the allocator asks the kernel to `mmap` with its
 /// mapping id (the "heap-mapping array" entry of the paper's Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,67 +58,308 @@ pub struct HeapRegion {
     pub sensitive: bool,
 }
 
+/// One block in a heap's arena: a contiguous byte range, either live or
+/// free, linked to its address-order neighbours.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    start: u64,
+    len: u64,
+    /// Address-order links (previous/next block in the heap).
+    prev: u32,
+    next: u32,
+    free: bool,
+    /// Position in `Heap::free_list` while free (for O(1) removal).
+    free_pos: u32,
+}
+
+/// Open-addressing map from allocation start address to arena node —
+/// the flat replacement for the `allocs: BTreeMap`. Linear probing with
+/// tombstones; capacity doubles at 3/4 occupancy, so lookups stay O(1)
+/// and the table reuses its storage across a heap's whole lifetime.
+#[derive(Debug, Clone)]
+struct AddrMap {
+    /// 0 = empty, 1 = full, 2 = tombstone.
+    state: Vec<u8>,
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    len: usize,
+    /// Full + tombstone slots (drives the resize threshold).
+    used: usize,
+}
+
+impl AddrMap {
+    fn new() -> Self {
+        AddrMap {
+            state: vec![0; 16],
+            keys: vec![0; 16],
+            vals: vec![0; 16],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.keys.len() - 1)
+    }
+
+    fn insert(&mut self, key: u64, val: u32) {
+        if (self.used + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        loop {
+            match self.state[i] {
+                1 if self.keys[i] == key => {
+                    self.vals[i] = val;
+                    return;
+                }
+                1 => {}
+                _ => {
+                    if self.state[i] == 0 {
+                        self.used += 1;
+                    }
+                    self.state[i] = 1;
+                    self.keys[i] = key;
+                    self.vals[i] = val;
+                    self.len += 1;
+                    return;
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        loop {
+            match self.state[i] {
+                0 => return None,
+                1 if self.keys[i] == key => return Some(self.vals[i]),
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        loop {
+            match self.state[i] {
+                0 => return None,
+                1 if self.keys[i] == key => {
+                    self.state[i] = 2;
+                    self.len -= 1;
+                    return Some(self.vals[i]);
+                }
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(16);
+        let mut next = AddrMap {
+            state: vec![0; new_cap],
+            keys: vec![0; new_cap],
+            vals: vec![0; new_cap],
+            len: 0,
+            used: 0,
+        };
+        for i in 0..self.keys.len() {
+            if self.state[i] == 1 {
+                next.insert(self.keys[i], self.vals[i]);
+            }
+        }
+        *self = next;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Heap {
     region: HeapRegion,
-    /// start → len of free blocks.
-    free: BTreeMap<u64, u64>,
-    /// start → len of live allocations.
-    allocs: BTreeMap<u64, u64>,
+    /// Block arena; slots are recycled through `spare`.
+    nodes: Vec<Block>,
+    spare: Vec<u32>,
+    /// Free-block node indices, unordered (swap-removed); the fit scan
+    /// reads the whole flat list and takes the lowest start address,
+    /// which is exactly first-fit by address.
+    free_list: Vec<u32>,
+    /// Live allocation start → node.
+    live: AddrMap,
+    live_bytes: u64,
+    /// Upper bound on the largest free block (exact after every alloc
+    /// scan; only ever an over-estimate in between, so skipping heaps
+    /// with `max_free_hint < size` never skips a satisfiable heap).
+    max_free_hint: u64,
+    /// True once the owning mapping was removed: the heap no longer
+    /// resolves addresses and never serves a recycled id's allocations.
+    retired: bool,
 }
 
 impl Heap {
     fn new(region: HeapRegion, header_bytes: u64) -> Self {
-        let mut free = BTreeMap::new();
         // The heap header (glibc: `heap_info` + arena metadata) keeps
         // user data off the region start. Beyond realism, the staggered
         // per-heap header decorrelates equal-index streams of different
         // variables, which would otherwise share every channel.
         let header = header_bytes.min(region.len.saturating_sub(ALIGN));
-        free.insert(region.start.0 + header, region.len - header);
+        let first = Block {
+            start: region.start.0 + header,
+            len: region.len - header,
+            prev: NIL,
+            next: NIL,
+            free: true,
+            free_pos: 0,
+        };
         Heap {
             region,
-            free,
-            allocs: BTreeMap::new(),
+            nodes: vec![first],
+            spare: Vec::new(),
+            free_list: vec![0],
+            live: AddrMap::new(),
+            live_bytes: 0,
+            max_free_hint: region.len - header,
+            retired: false,
         }
     }
 
-    fn alloc(&mut self, size: u64) -> Option<u64> {
-        // First fit.
-        let (&start, &len) = self.free.iter().find(|&(_, &len)| len >= size)?;
-        self.free.remove(&start);
-        if len > size {
-            self.free.insert(start + size, len - size);
+    fn new_node(&mut self, b: Block) -> u32 {
+        if let Some(i) = self.spare.pop() {
+            self.nodes[i as usize] = b;
+            i
+        } else {
+            self.nodes.push(b);
+            (self.nodes.len() - 1) as u32
         }
-        self.allocs.insert(start, size);
+    }
+
+    /// Removes node `i` from the free list in O(1).
+    fn unfree(&mut self, i: u32) {
+        let pos = self.nodes[i as usize].free_pos as usize;
+        let last = self.free_list.len() - 1;
+        self.free_list.swap(pos, last);
+        self.free_list.pop();
+        if pos <= last {
+            if let Some(&moved) = self.free_list.get(pos) {
+                self.nodes[moved as usize].free_pos = pos as u32;
+            }
+        }
+    }
+
+    fn push_free(&mut self, i: u32) {
+        self.nodes[i as usize].free = true;
+        self.nodes[i as usize].free_pos = self.free_list.len() as u32;
+        self.free_list.push(i);
+    }
+
+    /// First-fit by address: the lowest-start free block with room.
+    /// One flat pass over the free index list; the same pass recomputes
+    /// the exact largest-free-block bound.
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        let mut best: Option<u32> = None;
+        let mut max1 = 0u64; // largest free len seen
+        let mut max2 = 0u64; // second largest
+        for &i in &self.free_list {
+            let b = &self.nodes[i as usize];
+            if b.len >= max1 {
+                max2 = max1;
+                max1 = b.len;
+            } else if b.len > max2 {
+                max2 = b.len;
+            }
+            if b.len >= size && best.is_none_or(|j| b.start < self.nodes[j as usize].start) {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else {
+            self.max_free_hint = max1;
+            return None;
+        };
+        let (start, len) = {
+            let b = &self.nodes[i as usize];
+            (b.start, b.len)
+        };
+        if len > size {
+            // The free block shrinks in place (it keeps its free-list
+            // slot); a fresh node carries the allocation before it.
+            let prev = self.nodes[i as usize].prev;
+            let a = self.new_node(Block {
+                start,
+                len: size,
+                prev,
+                next: i,
+                free: false,
+                free_pos: 0,
+            });
+            self.nodes[i as usize].start = start + size;
+            self.nodes[i as usize].len = len - size;
+            self.nodes[i as usize].prev = a;
+            if prev != NIL {
+                self.nodes[prev as usize].next = a;
+            }
+            self.live.insert(start, a);
+        } else {
+            self.unfree(i);
+            self.nodes[i as usize].free = false;
+            self.live.insert(start, i);
+        }
+        self.live_bytes += size;
+        // `max1`/`max2` described the list before the cut; the chosen
+        // block now holds `len - size`.
+        self.max_free_hint = if len == max1 {
+            max2.max(len - size)
+        } else {
+            max1
+        };
         Some(start)
     }
 
     fn free_block(&mut self, addr: u64) -> bool {
-        let Some(size) = self.allocs.remove(&addr) else {
+        let Some(i) = self.live.remove(addr) else {
             return false;
         };
-        // Coalesce with successor.
-        let mut start = addr;
-        let mut len = size;
-        if let Some(&next_len) = self.free.get(&(addr + size)) {
-            self.free.remove(&(addr + size));
-            len += next_len;
-        }
-        // Coalesce with predecessor.
-        if let Some((&prev_start, &prev_len)) = self.free.range(..addr).next_back() {
-            if prev_start + prev_len == addr {
-                self.free.remove(&prev_start);
-                start = prev_start;
-                len += prev_len;
+        let len = self.nodes[i as usize].len;
+        self.live_bytes -= len;
+        let mut node = i;
+        // Coalesce with the address successor.
+        let next = self.nodes[node as usize].next;
+        if next != NIL && self.nodes[next as usize].free {
+            self.unfree(next);
+            self.nodes[node as usize].len += self.nodes[next as usize].len;
+            let nn = self.nodes[next as usize].next;
+            self.nodes[node as usize].next = nn;
+            if nn != NIL {
+                self.nodes[nn as usize].prev = node;
             }
+            self.spare.push(next);
         }
-        self.free.insert(start, len);
+        // Coalesce with the address predecessor.
+        let prev = self.nodes[node as usize].prev;
+        if prev != NIL && self.nodes[prev as usize].free {
+            self.nodes[prev as usize].len += self.nodes[node as usize].len;
+            let nn = self.nodes[node as usize].next;
+            self.nodes[prev as usize].next = nn;
+            if nn != NIL {
+                self.nodes[nn as usize].prev = prev;
+            }
+            self.spare.push(node);
+            node = prev;
+            self.max_free_hint = self.max_free_hint.max(self.nodes[node as usize].len);
+        } else {
+            self.max_free_hint = self.max_free_hint.max(self.nodes[node as usize].len);
+            self.push_free(node);
+        }
         true
     }
 
     fn live_bytes(&self) -> u64 {
-        self.allocs.values().sum()
+        self.live_bytes
     }
 }
 
@@ -135,17 +386,29 @@ pub struct MultiHeapMalloc {
     page_bits: u32,
     heap_bytes: u64,
     heaps: Vec<Heap>,
-    /// Mapping id → indices into `heaps` (the heap-mapping array).
-    by_mapping: BTreeMap<MappingId, Vec<usize>>,
+    /// Mapping id → indices into `heaps` (the heap-mapping array),
+    /// indexed directly by the 8-bit id.
+    by_mapping: Vec<Vec<u32>>,
+    /// Registered ids in registration order (id 0 first).
     registered: Vec<MappingId>,
+    /// O(1) membership column for `registered`.
+    registered_mask: Vec<bool>,
+    /// Ids released by [`MultiHeapMalloc::remove_addr_map`], reused
+    /// before fresh ids — the recycling rule that keeps long-uptime
+    /// tenant churn under the 256-entry limit.
+    free_ids: Vec<u8>,
     next_mapping: u16,
     next_region: u64,
+    /// `(start, heap index)` per heap, in creation order; region starts
+    /// grow monotonically, so this stays sorted and address-to-heap
+    /// resolution is a binary search.
+    starts: Vec<(u64, u32)>,
     new_regions: Vec<HeapRegion>,
     /// Successful `malloc` calls (monotonic).
     alloc_calls: u64,
     /// Successful `free` calls (monotonic).
     free_calls: u64,
-    /// Heaps ever created (monotonic; heaps are never destroyed, so
+    /// Heaps ever created (monotonic; retired heaps keep their slot, so
     /// this equals `heaps.len()`, kept as a counter for the registry).
     heaps_created: u64,
 }
@@ -167,14 +430,19 @@ impl MultiHeapMalloc {
         assert!(heap_bytes > 0, "heap size must be non-zero");
         let page = 1u64 << page_bits;
         let heap_bytes = heap_bytes.div_ceil(page) * page;
+        let mut registered_mask = vec![false; 256];
+        registered_mask[0] = true;
         MultiHeapMalloc {
             page_bits,
             heap_bytes,
             heaps: Vec::new(),
-            by_mapping: BTreeMap::new(),
+            by_mapping: (0..256).map(|_| Vec::new()).collect(),
             registered: vec![MappingId::DEFAULT],
+            registered_mask,
+            free_ids: Vec::new(),
             next_mapping: 1,
             next_region: HEAP_BASE,
+            starts: Vec::new(),
             new_regions: Vec::new(),
             alloc_calls: 0,
             free_calls: 0,
@@ -183,28 +451,65 @@ impl MultiHeapMalloc {
     }
 
     /// Registers a new address mapping, returning its id — the paper's
-    /// `add_addr_map()` API.
+    /// `add_addr_map()` API. Ids released by
+    /// [`MultiHeapMalloc::remove_addr_map`] are reused first (O(1) from
+    /// the free list), so churning tenants stay under the cap.
     ///
     /// # Errors
     ///
-    /// [`MemError::MappingIdsExhausted`] after 255 registrations (id 0
-    /// is the pre-registered default).
+    /// [`MemError::MappingIdsExhausted`] when 255 ids are simultaneously
+    /// live (id 0 is the pre-registered default).
     pub fn add_addr_map(&mut self) -> Result<MappingId, MemError> {
-        if self.next_mapping > u8::MAX as u16 {
-            return Err(MemError::MappingIdsExhausted);
-        }
-        let id = MappingId(self.next_mapping as u8);
-        self.next_mapping += 1;
+        let id = if let Some(id) = self.free_ids.pop() {
+            MappingId(id)
+        } else {
+            if self.next_mapping > u8::MAX as u16 {
+                return Err(MemError::MappingIdsExhausted);
+            }
+            let id = MappingId(self.next_mapping as u8);
+            self.next_mapping += 1;
+            id
+        };
+        self.registered_mask[id.0 as usize] = true;
         self.registered.push(id);
         Ok(id)
+    }
+
+    /// Unregisters a mapping and recycles its id for a later
+    /// [`MultiHeapMalloc::add_addr_map`]. Its heaps must hold no live
+    /// allocations; they are retired — a recycled id starts from fresh
+    /// heaps and can never resolve another tenant's addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::UnknownMapping`] for the default id or an id that is
+    /// not registered; [`MemError::MappingInUse`] when live allocations
+    /// remain in the mapping's heaps.
+    pub fn remove_addr_map(&mut self, id: MappingId) -> Result<(), MemError> {
+        if id == MappingId::DEFAULT || !self.registered_mask[id.0 as usize] {
+            return Err(MemError::UnknownMapping(id));
+        }
+        if self.live_bytes(id) > 0 {
+            return Err(MemError::MappingInUse(id));
+        }
+        for &i in &self.by_mapping[id.0 as usize] {
+            self.heaps[i as usize].retired = true;
+        }
+        self.by_mapping[id.0 as usize].clear();
+        self.registered_mask[id.0 as usize] = false;
+        self.registered.retain(|&m| m != id);
+        self.free_ids.push(id.0);
+        Ok(())
     }
 
     /// Registers an externally assigned mapping id (used when the id
     /// space is owned by a global authority — the CMT is shared by all
     /// processes, so ids must be, too). Idempotent.
     pub fn register_external(&mut self, id: MappingId) {
-        if !self.registered.contains(&id) {
+        if !self.registered_mask[id.0 as usize] {
+            self.registered_mask[id.0 as usize] = true;
             self.registered.push(id);
+            self.free_ids.retain(|&f| f != id.0);
             self.next_mapping = self.next_mapping.max(id.0 as u16 + 1);
         }
     }
@@ -212,6 +517,11 @@ impl MultiHeapMalloc {
     /// Registered mapping ids, in registration order (id 0 first).
     pub fn registered_mappings(&self) -> &[MappingId] {
         &self.registered
+    }
+
+    /// True when `id` is currently registered.
+    pub fn is_registered(&self, id: MappingId) -> bool {
+        self.registered_mask[id.0 as usize]
     }
 
     /// Allocates `size` bytes from a heap of `mapping` (the default
@@ -252,20 +562,20 @@ impl MultiHeapMalloc {
         if size == 0 || size > MAX_ALLOC_BYTES {
             return Err(MemError::InvalidSize { size });
         }
-        if !self.registered.contains(&mapping) {
+        if !self.registered_mask[mapping.0 as usize] {
             return Err(MemError::UnknownMapping(mapping));
         }
         let size = size.div_ceil(ALIGN) * ALIGN;
-        // Try existing heaps of this mapping and sensitivity.
-        if let Some(idxs) = self.by_mapping.get(&mapping) {
-            for &i in idxs {
-                if self.heaps[i].region.sensitive != sensitive {
-                    continue;
-                }
-                if let Some(addr) = self.heaps[i].alloc(size) {
-                    self.alloc_calls += 1;
-                    return Ok(VirtAddr(addr));
-                }
+        // Try existing heaps of this mapping and sensitivity; the
+        // max-free bound skips heaps that cannot possibly fit.
+        for k in 0..self.by_mapping[mapping.0 as usize].len() {
+            let i = self.by_mapping[mapping.0 as usize][k] as usize;
+            if self.heaps[i].region.sensitive != sensitive || self.heaps[i].max_free_hint < size {
+                continue;
+            }
+            if let Some(addr) = self.heaps[i].alloc(size) {
+                self.alloc_calls += 1;
+                return Ok(VirtAddr(addr));
             }
         }
         // Create a new heap large enough for the request plus its
@@ -282,7 +592,8 @@ impl MultiHeapMalloc {
         // Guard page between heaps.
         self.next_region += heap_len + (1u64 << self.page_bits);
         self.heaps.push(Heap::new(region, header_bytes));
-        self.by_mapping.entry(mapping).or_default().push(idx);
+        self.starts.push((region.start.0, idx as u32));
+        self.by_mapping[mapping.0 as usize].push(idx as u32);
         self.new_regions.push(region);
         self.heaps_created += 1;
         // The fresh heap was sized to the request, so this cannot fail;
@@ -326,7 +637,8 @@ impl MultiHeapMalloc {
     /// The size of the live allocation starting exactly at `va`.
     pub fn size_of(&self, va: VirtAddr) -> Option<u64> {
         let heap = self.heap_index_of(va)?;
-        self.heaps[heap].allocs.get(&va.0).copied()
+        let node = self.heaps[heap].live.get(va.0)?;
+        Some(self.heaps[heap].nodes[node as usize].len)
     }
 
     /// Drains regions of heaps created since the last call; the caller
@@ -336,17 +648,17 @@ impl MultiHeapMalloc {
         std::mem::take(&mut self.new_regions)
     }
 
-    /// All heap regions, in creation order.
+    /// All heap regions, in creation order (retired heaps included).
     pub fn heap_regions(&self) -> Vec<HeapRegion> {
         self.heaps.iter().map(|h| h.region).collect()
     }
 
     /// Live (allocated) bytes across all heaps of a mapping.
     pub fn live_bytes(&self, mapping: MappingId) -> u64 {
-        self.by_mapping
-            .get(&mapping)
-            .map(|idxs| idxs.iter().map(|&i| self.heaps[i].live_bytes()).sum())
-            .unwrap_or(0)
+        self.by_mapping[mapping.0 as usize]
+            .iter()
+            .map(|&i| self.heaps[i as usize].live_bytes())
+            .sum()
     }
 
     /// Successful `malloc`/`malloc_sensitive` calls so far.
@@ -372,9 +684,15 @@ impl MultiHeapMalloc {
     }
 
     fn heap_index_of(&self, va: VirtAddr) -> Option<usize> {
-        self.heaps
-            .iter()
-            .position(|h| va.0 >= h.region.start.0 && va.0 < h.region.start.0 + h.region.len)
+        // Binary search over the sorted region starts: the candidate is
+        // the last heap starting at or below `va`.
+        let pos = self.starts.partition_point(|&(s, _)| s <= va.0);
+        let (_, i) = *self.starts.get(pos.checked_sub(1)?)?;
+        let h = &self.heaps[i as usize];
+        if h.retired || va.0 >= h.region.start.0 + h.region.len {
+            return None;
+        }
+        Some(i as usize)
     }
 
     fn round_to_page(&self, n: u64) -> u64 {
@@ -416,6 +734,67 @@ mod tests {
             m.add_addr_map().unwrap();
         }
         assert_eq!(m.add_addr_map().unwrap_err(), MemError::MappingIdsExhausted);
+    }
+
+    #[test]
+    fn removed_ids_recycle_in_lifo_order() {
+        let mut m = small();
+        let a = m.add_addr_map().unwrap();
+        let b = m.add_addr_map().unwrap();
+        m.remove_addr_map(a).unwrap();
+        m.remove_addr_map(b).unwrap();
+        assert!(!m.is_registered(a));
+        // LIFO reuse: the most recently released id comes back first.
+        assert_eq!(m.add_addr_map().unwrap(), b);
+        assert_eq!(m.add_addr_map().unwrap(), a);
+        // Under churn the id space never exhausts.
+        for _ in 0..1000 {
+            let id = m.add_addr_map().unwrap();
+            m.remove_addr_map(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn remove_addr_map_guards_misuse() {
+        let mut m = small();
+        let id = m.add_addr_map().unwrap();
+        assert_eq!(
+            m.remove_addr_map(MappingId::DEFAULT).unwrap_err(),
+            MemError::UnknownMapping(MappingId::DEFAULT)
+        );
+        assert_eq!(
+            m.remove_addr_map(MappingId(77)).unwrap_err(),
+            MemError::UnknownMapping(MappingId(77))
+        );
+        let va = m.malloc(64, Some(id)).unwrap();
+        assert_eq!(
+            m.remove_addr_map(id).unwrap_err(),
+            MemError::MappingInUse(id)
+        );
+        m.free(va).unwrap();
+        m.remove_addr_map(id).unwrap();
+    }
+
+    #[test]
+    fn retired_heaps_never_serve_recycled_ids() {
+        let mut m = small();
+        let a = m.add_addr_map().unwrap();
+        let va = m.malloc(64, Some(a)).unwrap();
+        m.free(va).unwrap();
+        m.remove_addr_map(a).unwrap();
+        // The id comes back, but the old heap does not: the recycled
+        // mapping's first allocation opens a fresh heap, and the stale
+        // address no longer resolves to anything.
+        let b = m.add_addr_map().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(m.mapping_of(va), None);
+        assert!(m.free(va).is_err());
+        let va2 = m.malloc(64, Some(b)).unwrap();
+        assert_ne!(
+            m.heap_region(va2).unwrap().start.0,
+            va.0 & !0xfff,
+            "recycled id must get a fresh heap"
+        );
     }
 
     #[test]
@@ -590,5 +969,28 @@ mod tests {
             m.malloc(0, None),
             Err(MemError::InvalidSize { size: 0 })
         ));
+    }
+
+    #[test]
+    fn arena_recycles_nodes_under_churn() {
+        // Long alloc/free churn must not grow the arena without bound:
+        // coalescing returns nodes to the spare list and the free scan
+        // stays over a handful of blocks.
+        let mut m = small();
+        for round in 0..2_000u64 {
+            let a = m.malloc(64 + round % 512, None).unwrap();
+            let b = m.malloc(128, None).unwrap();
+            m.free(a).unwrap();
+            m.free(b).unwrap();
+        }
+        assert_eq!(m.live_bytes(MappingId::DEFAULT), 0);
+        assert_eq!(m.heaps_created(), 1, "churn must not leak heaps");
+        let h = &m.heaps[0];
+        assert!(
+            h.nodes.len() <= 8,
+            "node arena grew to {} under steady churn",
+            h.nodes.len()
+        );
+        assert_eq!(h.free_list.len(), 1, "everything coalesced back");
     }
 }

@@ -187,6 +187,22 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Unmaps every area, freeing all resident frames back to the
+    /// physical allocator — process teardown in one call. Chunk-release
+    /// events are queued exactly as [`AddressSpace::munmap`] queues
+    /// them, so the caller forwards them to the CMT the same way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator errors; the page table is consistent up to
+    /// the failing frame (each page is freed at most once).
+    pub fn clear(&mut self, phys: &mut ChunkAllocator) -> Result<(), MemError> {
+        while let Some((&start, _)) = self.vmas.iter().next() {
+            self.munmap(VirtAddr(start), phys)?;
+        }
+        Ok(())
+    }
+
     /// Translates without faulting.
     pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
         let pa = self.page_table.get(&va.vpn(self.page_bits))?;
@@ -386,5 +402,31 @@ mod tests {
             a.mmap(0, MappingId(1)),
             Err(MemError::InvalidSize { size: 0 })
         ));
+    }
+
+    #[test]
+    fn clear_releases_every_frame_and_queues_events() {
+        let (mut a, mut p) = setup();
+        let free_before = p.free_chunk_count();
+        let v1 = a.mmap(4 * 4096, MappingId(1)).unwrap();
+        let v2 = a.mmap(4 * 4096, MappingId(2)).unwrap();
+        for off in [0u64, 4096, 2 * 4096] {
+            a.access(VirtAddr(v1.0 + off), &mut p).unwrap();
+            a.access(VirtAddr(v2.0 + off), &mut p).unwrap();
+        }
+        a.drain_events();
+        a.clear(&mut p).unwrap();
+        assert_eq!(a.resident_pages(), 0);
+        assert_eq!(a.areas().count(), 0);
+        assert_eq!(p.free_chunk_count(), free_before, "chunks leaked");
+        // Both mappings' chunks were released and the events queued.
+        let released = a
+            .drain_events()
+            .iter()
+            .filter(|e| matches!(e, crate::phys::ChunkEvent::Released { .. }))
+            .count();
+        assert_eq!(released, 2);
+        // A cleared space accepts fresh mappings.
+        assert!(a.mmap(4096, MappingId(1)).is_ok());
     }
 }

@@ -102,6 +102,29 @@ impl Log2Histogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
     }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the inclusive
+    /// upper edge of the bucket holding the `⌈q·count⌉`-th smallest
+    /// observation. Log2 buckets make this at most 2x above the true
+    /// quantile — the resolution tail-latency tables need. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(match b {
+                    64 => u64::MAX,
+                    _ => Self::bucket_range(b).1 - 1,
+                });
+            }
+        }
+        None
+    }
 }
 
 /// An exact histogram over `i64` keys, backed by a `BTreeMap` so
@@ -218,6 +241,27 @@ mod tests {
         assert_eq!(h.nonzero_buckets().count(), 4);
         assert_eq!(h.mean(), Some(1011.0 / 5.0));
         assert_eq!(Log2Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn log2_quantiles_bound_the_distribution() {
+        assert_eq!(Log2Histogram::new().quantile(0.5), None);
+        let mut h = Log2Histogram::new();
+        // 99 observations of 10 ([8, 16)) and one of 1000 ([512, 1024)).
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), Some(15));
+        assert_eq!(h.quantile(0.5), Some(15));
+        assert_eq!(h.quantile(0.99), Some(15));
+        assert_eq!(h.quantile(1.0), Some(1023));
+        let mut zeros = Log2Histogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.5), Some(0));
+        let mut top = Log2Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile(0.5), Some(u64::MAX));
     }
 
     #[test]

@@ -315,8 +315,9 @@ impl RemapController {
                 continue;
             };
             let best = cmt
-                .registered_ids()
-                .into_iter()
+                .registered_ids_slice()
+                .iter()
+                .copied()
                 .filter(|&id| id != current)
                 .filter_map(|id| score_mapping(cmt, self.geom, id, samples).map(|s| (s, id)))
                 .min();

@@ -37,6 +37,7 @@
 
 pub mod analytics;
 pub mod ann;
+pub mod churn;
 pub mod datacopy;
 pub mod graph;
 pub mod phased;

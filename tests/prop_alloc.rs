@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use sdam_mapping::MappingId;
 use sdam_mem::buddy::BuddyAllocator;
 use sdam_mem::heap::MultiHeapMalloc;
-use sdam_mem::phys::ChunkAllocator;
+use sdam_mem::phys::{ChunkAllocator, ChunkAllocatorReference};
 
 /// An alloc/free script: positive = alloc of that order/size bucket,
 /// negative-ish handled by the interpreting loop freeing oldest.
@@ -20,6 +20,35 @@ fn ops(max_alloc: u8) -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
         prop_oneof![(0..=max_alloc).prop_map(Op::Alloc), Just(Op::FreeOldest),],
         1..120,
+    )
+}
+
+/// One step of the oracle-equivalence script: allocations across a
+/// handful of mappings and orders, sensitive (guard-reserving) variants,
+/// frees of arbitrary live blocks, and frees of arbitrary raw addresses
+/// (which must fail identically on both implementations).
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Alloc { mapping: u8, order: u8 },
+    AllocSensitive { mapping: u8, order: u8 },
+    Free { pick: usize },
+    BadFree { raw: u64 },
+}
+
+fn churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    // The shim's `prop_oneof!` is unweighted; repeating the hot arms
+    // tilts the mix toward allocations and frees.
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..6, 0u8..11).prop_map(|(mapping, order)| ChurnOp::Alloc { mapping, order }),
+            (0u8..6, 0u8..11).prop_map(|(mapping, order)| ChurnOp::Alloc { mapping, order }),
+            (0u8..6, 0u8..4)
+                .prop_map(|(mapping, order)| ChurnOp::AllocSensitive { mapping, order }),
+            (0usize..1024).prop_map(|pick| ChurnOp::Free { pick }),
+            (0usize..1024).prop_map(|pick| ChurnOp::Free { pick }),
+            (0u64..(1 << 26)).prop_map(|raw| ChurnOp::BadFree { raw }),
+        ],
+        1..200,
     )
 }
 
@@ -125,6 +154,69 @@ proptest! {
             m.free(sdam_mem::VirtAddr(start)).unwrap();
         }
         prop_assert_eq!(m.live_bytes(id1) + m.live_bytes(id2), 0);
+    }
+
+    #[test]
+    fn flat_allocator_matches_reference_oracle(script in churn_ops()) {
+        // Golden equivalence: the flat-column ChunkAllocator must be
+        // bit-identical to the preserved BTree reference over arbitrary
+        // alloc/free/sensitive sequences — same PageAllocs (addresses
+        // AND chunk events), same errors, same claim/release counters.
+        let mut fast = ChunkAllocator::new(25, 21, 12); // 16 chunks
+        let mut oracle = ChunkAllocatorReference::new(25, 21, 12);
+        let mut live: Vec<sdam_mapping::PhysAddr> = Vec::new();
+        for op in script {
+            match op {
+                ChurnOp::Alloc { mapping, order } => {
+                    let m = MappingId(mapping);
+                    let a = fast.alloc_block(m, order as u32);
+                    let b = oracle.alloc_block(m, order as u32);
+                    prop_assert_eq!(&a, &b, "alloc_block({}, {}) diverged", m, order);
+                    if let Ok(p) = a {
+                        live.push(p.pa);
+                    }
+                }
+                ChurnOp::AllocSensitive { mapping, order } => {
+                    let m = MappingId(mapping);
+                    let a = fast.alloc_block_sensitive(m, order as u32);
+                    let b = oracle.alloc_block_sensitive(m, order as u32);
+                    prop_assert_eq!(&a, &b, "alloc_block_sensitive({}, {}) diverged", m, order);
+                    if let Ok(p) = a {
+                        live.push(p.pa);
+                    }
+                }
+                ChurnOp::Free { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let pa = live.swap_remove(pick % live.len());
+                    prop_assert_eq!(fast.free_block(pa), oracle.free_block(pa));
+                }
+                ChurnOp::BadFree { raw } => {
+                    // Arbitrary addresses: both sides must agree on the
+                    // error (or, rarely, on a successful free of a real
+                    // block start — then drop it from the live list).
+                    let pa = sdam_mapping::PhysAddr(raw);
+                    let a = fast.free_block(pa);
+                    let b = oracle.free_block(pa);
+                    prop_assert_eq!(&a, &b, "free_block({:#x}) diverged", raw);
+                    if a.is_ok() {
+                        live.retain(|&p| p != pa);
+                    }
+                }
+            }
+            prop_assert_eq!(fast.chunks_claimed(), oracle.chunks_claimed());
+            prop_assert_eq!(fast.chunks_released(), oracle.chunks_released());
+            prop_assert_eq!(fast.guard_chunk_count(), oracle.guard_chunk_count());
+            prop_assert_eq!(fast.free_chunk_count(), oracle.free_chunk_count());
+            prop_assert_eq!(fast.allocated_pages(), oracle.allocated_pages());
+        }
+        // Same end state, down to the per-group report.
+        prop_assert_eq!(fast.report(), oracle.report());
+        prop_assert_eq!(
+            fast.internal_fragmentation_pages(),
+            oracle.internal_fragmentation_pages()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use sdam_hbm::{Geometry, HardwareAddr};
 use sdam_mapping::{
     select, AddressMapping, AmuConfig, BitFlipRateVector, BitPermutation, BitShuffleMapping, Cmt,
-    HashMapping, MappingId, PhysAddr,
+    CmtError, HashMapping, MappingId, PhysAddr,
 };
 
 /// Strategy: a random permutation table of length `n`.
@@ -116,6 +116,77 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mapping_ids_recycle_under_the_cap(
+        table in perm_table(15),
+        churn in proptest::collection::vec(0u8..8, 1..400),
+    ) {
+        // Tenant lifecycles far past 255 total registrations: the
+        // free-list recycling must keep register → unregister →
+        // register within the architectural cap, never exhaust, and
+        // never hand out an id that is still registered.
+        let mut cmt = Cmt::new(33, 21);
+        let perm = BitPermutation::new(6, table).unwrap();
+        let mut live: Vec<MappingId> = Vec::new();
+        for step in churn {
+            if live.is_empty() || (step < 5 && live.len() < 255) {
+                let id = cmt.allocate_id().unwrap();
+                prop_assert!(!live.contains(&id), "live id handed out twice");
+                cmt.try_register(id, &perm).unwrap();
+                live.push(id);
+            } else {
+                let id = live.swap_remove(step as usize % live.len());
+                cmt.unregister(id).unwrap();
+            }
+            // +1: the always-registered default mapping.
+            prop_assert_eq!(cmt.registered_mappings(), live.len() + 1);
+        }
+    }
+
+    #[test]
+    fn id_exhaustion_is_a_typed_error(table in perm_table(15), victim in 1u8..=255) {
+        let mut cmt = Cmt::new(33, 21);
+        let perm = BitPermutation::new(6, table).unwrap();
+        for _ in 0..255 {
+            let id = cmt.allocate_id().unwrap();
+            cmt.try_register(id, &perm).unwrap();
+        }
+        prop_assert!(matches!(cmt.allocate_id(), Err(CmtError::MappingIdsExhausted)));
+        // Releasing any slot makes allocation succeed again, reusing
+        // exactly the freed id.
+        cmt.unregister(MappingId(victim)).unwrap();
+        prop_assert_eq!(cmt.allocate_id().unwrap(), MappingId(victim));
+    }
+
+    #[test]
+    fn recycled_id_never_serves_stale_memo(
+        t1 in perm_table(15),
+        t2 in perm_table(15),
+        chunk in 0u64..4096,
+        offset in 0u64..(1 << 21),
+    ) {
+        let mut cmt = Cmt::new(33, 21);
+        let mut cache = sdam_mapping::CmtLookupCache::default();
+        // Tenant A registers, takes a chunk, and translates through the
+        // memoizing lookup cache (warming the (chunk → id) memo).
+        let a = cmt.allocate_id().unwrap();
+        cmt.try_register(a, &BitPermutation::new(6, t1).unwrap()).unwrap();
+        cmt.assign_chunk(chunk, a).unwrap();
+        let pa = PhysAddr((chunk << 21) | offset);
+        prop_assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
+        // Tenant A departs; tenant B reuses the recycled id with a
+        // different permutation on the same chunk.
+        cmt.assign_chunk(chunk, MappingId::DEFAULT).unwrap();
+        cmt.unregister(a).unwrap();
+        let b = cmt.allocate_id().unwrap();
+        prop_assert_eq!(b, a, "LIFO recycling must reuse the freed slot");
+        cmt.try_register(b, &BitPermutation::new(6, t2).unwrap()).unwrap();
+        cmt.assign_chunk(chunk, b).unwrap();
+        // Tenant A's memo must not leak into tenant B's translation:
+        // every register/assign/unregister bumped the epoch.
+        prop_assert_eq!(cmt.translate_cached(pa, &mut cache), cmt.translate(pa));
     }
 
     #[test]
