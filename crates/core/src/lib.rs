@@ -57,6 +57,7 @@ pub mod error;
 pub mod metrics;
 pub mod par;
 pub mod pipeline;
+pub mod probing;
 pub mod profiling;
 pub mod report;
 pub mod stage;
@@ -66,5 +67,6 @@ pub use config::{Experiment, Parallelism, SystemConfig};
 pub use error::SdamError;
 pub use report::{Comparison, PhaseTimes, RunResult};
 pub use sdam_obs as obs;
+pub use sdam_probe as probe;
 pub use sdam_sys::ConfigError;
 pub use system::{ProcessId, SdamSystem};

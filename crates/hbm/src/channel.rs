@@ -488,6 +488,47 @@ impl ChannelSim {
         self.bus_free
     }
 
+    /// Declares the channel idle through cycle `now`: every row is
+    /// precharged (auto-precharge on idle), the write-to-read turnaround
+    /// state is cleared, and — crucially for single-access probing — the
+    /// refresh schedule is realigned so the *next* refresh boundary sits
+    /// a full `tREFI` after `now`.
+    ///
+    /// Without the realignment, a request arriving after a large idle
+    /// gap can land just past a `k * tREFI` boundary and absorb up to
+    /// `tRFC` of refresh recovery, polluting its latency class by an
+    /// amount that depends on the arrival's position modulo `tREFI`
+    /// (the off-by-tREFI effect). [`ChannelSim::service_in_order`]
+    /// deliberately models that — batch runs must pay refresh — so this
+    /// is a separate, opt-in helper for callers that need clean
+    /// single-access latencies between settling periods.
+    ///
+    /// Statistics, per-bank request counters, and the pending queue's
+    /// capacity are all preserved: quiescing is a timing normalization,
+    /// not a reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests are still pending (a quiesce point inside a
+    /// batch drain is meaningless).
+    pub fn quiesce(&mut self, now: Cycle, timing: &Timing) {
+        assert!(
+            self.pending.is_empty(),
+            "cannot quiesce a channel with pending requests"
+        );
+        for b in &mut self.banks {
+            *b = BankState::new();
+        }
+        // The bus has long drained by `now`; keeping the old horizon
+        // would be harmless for monotone arrivals, but pinning it makes
+        // the post-quiesce state independent of pre-quiesce history.
+        self.bus_free = self.bus_free.min(now);
+        self.last_was_write = false;
+        if timing.t_refi > 0 {
+            self.next_refresh = now + timing.t_refi;
+        }
+    }
+
     /// Resets banks, bus, queue, and counters.
     pub fn reset(&mut self) {
         for b in &mut self.banks {
@@ -831,6 +872,81 @@ mod tests {
         // Draining the rest serves everyone.
         ch.drain(16, &tm);
         assert_eq!(ch.stats().requests, 100);
+    }
+
+    #[test]
+    fn quiesce_restores_clean_latency_classes() {
+        let tm = t();
+        let mut ch = ChannelSim::new(4);
+        // Dirty the channel: open rows, pending turnaround state.
+        ch.service_in_order_rw(addr(7, 0, 0), true, 0, &tm);
+        ch.service_in_order_rw(addr(3, 1, 0), true, 0, &tm);
+        let before = ch.stats();
+        let now = 10_000;
+        ch.quiesce(now, &tm);
+        // Stats survive the quiesce (it is not a reset).
+        assert_eq!(ch.stats(), before);
+        assert_eq!(ch.bank_requests(), &[1, 1, 0, 0]);
+        // First access after quiesce is a pure closed-bank access — no
+        // stale open row (would be a conflict), no write turnaround.
+        let done = ch.service_in_order(addr(0, 0, 0), now, &tm);
+        assert_eq!(done - now, tm.closed_latency());
+        // Re-access: pure row hit.
+        let done2 = ch.service_in_order(addr(0, 0, 0), done + tm.t_ras, &tm);
+        assert_eq!(done2 - (done + tm.t_ras), tm.hit_latency());
+    }
+
+    #[test]
+    fn quiesce_regression_off_by_trefi_refresh_pollution() {
+        // Regression for the off-by-tREFI case: a probe issued just past
+        // a k * tREFI boundary absorbs the tRFC recovery window and its
+        // latency class is polluted by up to tRFC cycles. A quiesce at
+        // the settle point realigns the schedule so the next boundary is
+        // a full tREFI away and the class comes back exact.
+        let tm = Timing::hbm2_with_refresh();
+        let k = 17u64;
+        // Arrival inside the recovery window of boundary k * tREFI.
+        let arrival = k * tm.t_refi + tm.t_rfc / 2;
+
+        let mut polluted = ChannelSim::new(4);
+        polluted.service_in_order(addr(0, 0, 0), 0, &tm); // start the clock
+        let done = polluted.service_in_order(addr(0, 1, 0), arrival, &tm);
+        assert!(
+            done - arrival > tm.closed_latency(),
+            "without quiesce the catch-up boundary must pollute the class: {} vs {}",
+            done - arrival,
+            tm.closed_latency()
+        );
+
+        let mut clean = ChannelSim::new(4);
+        clean.service_in_order(addr(0, 0, 0), 0, &tm);
+        clean.quiesce(arrival, &tm);
+        let done = clean.service_in_order(addr(0, 1, 0), arrival, &tm);
+        assert_eq!(
+            done - arrival,
+            tm.closed_latency(),
+            "quiesce must yield the exact closed-bank class"
+        );
+        // Refresh is realigned, not disabled: crossing the next tREFI
+        // boundary still stalls.
+        let far = arrival + 2 * tm.t_refi;
+        let stalls_before = clean.stats().refresh_stalls;
+        for i in 0..2_000u64 {
+            clean.service_in_order(addr(i / 64, i % 4, 0), far, &tm);
+        }
+        assert!(
+            clean.stats().refresh_stalls > stalls_before,
+            "refresh must stay active after a quiesce"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pending requests")]
+    fn quiesce_with_pending_requests_panics() {
+        let tm = t();
+        let mut ch = ChannelSim::new(2);
+        ch.push(addr(0, 0, 0), 0);
+        ch.quiesce(100, &tm);
     }
 
     #[test]

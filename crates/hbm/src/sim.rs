@@ -454,6 +454,27 @@ impl Hbm {
         }
     }
 
+    /// Declares the whole device idle through cycle `now`: every bank's
+    /// row is precharged and every channel's refresh schedule is
+    /// realigned to `now + tREFI` (see
+    /// [`crate::channel::ChannelSim::quiesce`]).
+    ///
+    /// This is the settling primitive single-access probing needs: after
+    /// a quiesce, the latency of the next access on any channel is a
+    /// pure timing class (hit / closed / conflict) regardless of how
+    /// large the arrival gap was — in particular it cannot be polluted
+    /// by refresh catch-up landing the access inside a `tRFC` recovery
+    /// window. Statistics and counters are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel still has batch requests pending.
+    pub fn quiesce(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.quiesce(now, &self.timing);
+        }
+    }
+
     /// Clears all bank state, queues, and counters.
     pub fn reset(&mut self) {
         for ch in &mut self.channels {
@@ -659,6 +680,29 @@ mod tests {
             let expected: Vec<DecodedAddr> = addrs.iter().map(|&a| bank_hashed(geom, a)).collect();
             bank_hashed_block(geom, &mut addrs);
             assert_eq!(addrs, expected);
+        }
+    }
+
+    #[test]
+    fn quiesce_preserves_stats_and_cleans_timing() {
+        let geom = Geometry::hbm2_8gb();
+        let mut hbm = Hbm::new(geom, Timing::hbm2_with_refresh());
+        for i in 0..512u64 {
+            hbm.service(geom.decode(HardwareAddr(i * LINE_BYTES)), 0);
+        }
+        let before = hbm.stats();
+        let now = 100 * hbm.timing().t_refi + hbm.timing().t_rfc / 2;
+        hbm.quiesce(now);
+        assert_eq!(hbm.stats().requests, before.requests);
+        assert_eq!(hbm.stats().per_channel, before.per_channel);
+        // Every channel serves an exact closed-bank access at `now`,
+        // even though `now` sits inside a refresh recovery window of
+        // the unaligned schedule.
+        let tm = hbm.timing();
+        for c in 0..geom.num_channels() as u64 {
+            let a = geom.decode(geom.encode(5, 3, c, 0));
+            let done = hbm.service(a, now);
+            assert_eq!(done - now, tm.closed_latency(), "channel {c}");
         }
     }
 

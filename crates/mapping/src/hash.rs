@@ -107,6 +107,85 @@ impl HashMapping {
         }
     }
 
+    /// The source sets: for each window-relative channel bit, the
+    /// absolute address bits XORed into it (in construction order).
+    pub fn sources(&self) -> &[Vec<u32>] {
+        &self.sources
+    }
+
+    /// The lowest absolute bit of the channel field this hash targets.
+    pub fn channel_lo(&self) -> u32 {
+        self.channel_lo
+    }
+
+    /// The width of the channel field this hash targets.
+    pub fn channel_bits(&self) -> u32 {
+        self.channel_bits
+    }
+
+    /// The timing-equivalent canonical form of this hash on `geom`.
+    ///
+    /// A latency-only observer measures, for a probe delta `d`, whether
+    /// the two accesses land in the same channel (`H(d) = 0`) and — when
+    /// they do — whether they collide on the same *effective* bank under
+    /// the controller's XOR fold of the row into the bank field. Any
+    /// such delta flips an **even** number of members of each fold class
+    /// `k` (the bank-field bit `k` plus the row bits `j ≡ k mod
+    /// bank_bits`): an effective-bank match forces even parity per
+    /// class. XORing one constant vector `u_k` into the hash columns of
+    /// every class-`k` member therefore cancels out of every observable
+    /// — the per-class *offset* of the columns is invisible, only the
+    /// differences within a class are measurable.
+    ///
+    /// The canonical gauge pins that freedom: pick `u_k` = the column of
+    /// bank bit `k`, zeroing every bank-field column. Two hashes are
+    /// timing-indistinguishable on `geom` iff their canonical forms are
+    /// equal, and a black-box recovery can be exact only up to this
+    /// form. Source sets are sorted ascending.
+    pub fn timing_canonical(&self, geom: Geometry) -> HashMapping {
+        let bank_lo = geom.line_bits() + geom.channel_bits() + geom.col_bits();
+        let row_lo = bank_lo + geom.bank_bits();
+        let bank_bits = geom.bank_bits();
+        // column(b) = bitmask over channel bits i with b ∈ sources[i].
+        let column = |sources: &[Vec<u32>], b: u32| -> u64 {
+            sources
+                .iter()
+                .enumerate()
+                .filter(|(_, set)| set.contains(&b))
+                .fold(0u64, |m, (i, _)| m | (1 << i))
+        };
+        let mut sources = self.sources.clone();
+        for k in 0..bank_bits {
+            let u = column(&sources, bank_lo + k);
+            if u == 0 {
+                continue;
+            }
+            let members: Vec<u32> = std::iter::once(bank_lo + k)
+                .chain((row_lo..geom.addr_bits()).filter(|&b| (b - row_lo) % bank_bits == k))
+                .collect();
+            for (i, set) in sources.iter_mut().enumerate() {
+                if (u >> i) & 1 == 0 {
+                    continue;
+                }
+                for &b in &members {
+                    if let Some(pos) = set.iter().position(|&x| x == b) {
+                        set.remove(pos);
+                    } else {
+                        set.push(b);
+                    }
+                }
+            }
+        }
+        for set in &mut sources {
+            set.sort_unstable();
+        }
+        HashMapping {
+            sources,
+            channel_lo: self.channel_lo,
+            channel_bits: self.channel_bits,
+        }
+    }
+
     fn fold(&self, addr: u64) -> u64 {
         let mut out = addr;
         for (i, set) in self.sources.iter().enumerate() {
@@ -285,6 +364,58 @@ mod tests {
                 .unwrap()
         };
         assert!(worst(&tuned) >= worst(&default));
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_gauges_bank_columns() {
+        let geom = Geometry::hbm2_8gb();
+        let bank_lo = 13u32;
+        let bank_hi = 17u32;
+        for hm in [
+            HashMapping::for_geometry(geom),
+            HashMapping::with_sources(
+                6,
+                5,
+                vec![vec![14, 20], vec![13], vec![], vec![31, 32], vec![11, 16]],
+            ),
+        ] {
+            let canon = hm.timing_canonical(geom);
+            assert_eq!(canon.timing_canonical(geom), canon);
+            for set in canon.sources() {
+                assert!(
+                    set.iter().all(|&b| !(bank_lo..bank_hi).contains(&b)),
+                    "bank columns must be gauged to zero: {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_preserves_observable_deltas() {
+        let geom = Geometry::hbm2_8gb();
+        let hm = HashMapping::for_geometry(geom);
+        let canon = hm.timing_canonical(geom);
+        // H(d) read off the channel field (the map is linear in GF(2)).
+        let h = |m: &HashMapping, d: u64| m.map(PhysAddr(d)).raw() ^ d;
+        let (bank_lo, row_lo, bank_bits, width) = (13u32, 17u32, 4u32, 33u32);
+        // A same-effective-bank experiment can only realize deltas that
+        // flip an even number of members per fold class; pairs within a
+        // class span that space and must hash identically.
+        for k in 0..bank_bits {
+            let members: Vec<u32> = std::iter::once(bank_lo + k)
+                .chain((row_lo..width).filter(|&b| (b - row_lo) % bank_bits == k))
+                .collect();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let d = (1u64 << members[i]) | (1u64 << members[j]);
+                    assert_eq!(h(&hm, d), h(&canon, d), "delta {d:#x}");
+                }
+            }
+        }
+        // Column-field deltas are observable singletons.
+        for b in 11..13u32 {
+            assert_eq!(h(&hm, 1u64 << b), h(&canon, 1u64 << b));
+        }
     }
 
     #[test]

@@ -70,5 +70,5 @@ pub use bfrv::{BfrvAccumulator, BitFlipRateVector};
 pub use cmt::{Cmt, CmtError, CmtLookupCache};
 pub use hash::{optimize_hash, HashMapping};
 pub use mapping::{AddressMapping, IdentityMapping};
-pub use perm::{BitPermutation, PermError};
+pub use perm::{timing_classes, BitPermutation, PermError, TimingClasses};
 pub use shuffle::BitShuffleMapping;

@@ -6,6 +6,8 @@
 //! in turn is what guarantees the PA→HA mapping is invertible
 //! (the paper's intra-chunk functional-correctness argument, §4).
 
+use sdam_hbm::Geometry;
+
 /// Errors from constructing a [`BitPermutation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PermError {
@@ -246,6 +248,40 @@ impl BitPermutation {
         BitPermutation::from_table(self.lo, inv)
     }
 
+    /// The canonical representative of this permutation's
+    /// *timing-equivalence class* on `geom` (see [`timing_classes`]).
+    ///
+    /// Two AMU permutations are timing-equivalent when no sequence of
+    /// timed accesses through the device can distinguish them: the
+    /// row-buffer outcome of any access pair depends only on whether
+    /// the pair shares a (channel, effective-bank) pair and whether it
+    /// shares a row — and those predicates are invariant under
+    /// reordering destinations *within* a timing class (which channel
+    /// bit, which column bit, and the bank-bit/row-bit assignment
+    /// inside one fold class of the controller's bank hash are all
+    /// unobservable). Canonical form: within each class, ascending
+    /// sources are routed to ascending destinations.
+    ///
+    /// A black-box prober (`sdam-probe`) can therefore recover at most
+    /// this representative; comparing `recovered` against
+    /// `truth.timing_canonical(geom)` is the exact ground-truth check.
+    pub fn timing_canonical(&self, geom: Geometry) -> BitPermutation {
+        let classes = timing_classes(geom, self.lo, self.table.len() as u32);
+        let mut table = self.table.clone();
+        let mut groups: Vec<&[u32]> = vec![&classes.channel, &classes.column];
+        groups.extend(classes.fold.iter().map(|v| v.as_slice()));
+        for dests in groups {
+            let mut sources: Vec<u32> = dests.iter().map(|&d| self.table[d as usize]).collect();
+            sources.sort_unstable();
+            // Destination groups are produced in ascending order, so
+            // ascending source -> ascending destination within the class.
+            for (&d, &s) in dests.iter().zip(sources.iter()) {
+                table[d as usize] = s;
+            }
+        }
+        BitPermutation::from_table(self.lo, table)
+    }
+
     /// Composes two permutations over the same window:
     /// `a.compose(&b).apply(x) == b.apply(a.apply(x))`.
     ///
@@ -267,9 +303,149 @@ impl BitPermutation {
     }
 }
 
+/// The partition of a permutation window's *destination* bits into
+/// timing-equivalence classes on a device geometry.
+///
+/// All indices are window-relative (destination bit `lo + i` appears as
+/// `i`) and each group is ascending. The classes:
+///
+/// * [`TimingClasses::channel`] — destinations inside the channel
+///   field. Channels are identical, independently timed machines, so
+///   *which* channel bit a source drives is unobservable from latency.
+/// * [`TimingClasses::column`] — destinations inside the column field.
+///   Columns select a line within the open row buffer; a row hit costs
+///   the same for every column, so column order is unobservable.
+/// * [`TimingClasses::fold`] — one group per fold class `k` of the
+///   controller's bank-address hash (`effective bank = bank XOR
+///   fold(row)`, the MICRO-33 interleave): the bank-field bit `k`
+///   together with every row-field bit `j` with `j ≡ k (mod
+///   bank_bits)`. The effective-bank bit `k` is the *parity* of the
+///   class members, so swapping destinations within a class changes no
+///   (channel, effective-bank) pair and no row-equality verdict —
+///   unobservable again. Empty groups (classes with no destination in
+///   the window) are kept so `fold[k]` is always class `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingClasses {
+    /// Window-relative destination bits in the channel field.
+    pub channel: Vec<u32>,
+    /// Window-relative destination bits in the column field.
+    pub column: Vec<u32>,
+    /// Window-relative destination bits per bank-hash fold class.
+    pub fold: Vec<Vec<u32>>,
+}
+
+/// Partitions the destination bits of the window `[lo, lo + len)` into
+/// timing-equivalence classes for `geom` (see [`TimingClasses`]).
+///
+/// Window bits below the geometry's line offset or above its address
+/// width belong to no field and are ignored (they never reach the
+/// device decoder).
+pub fn timing_classes(geom: Geometry, lo: u32, len: u32) -> TimingClasses {
+    let ch_lo = geom.line_bits();
+    let col_lo = ch_lo + geom.channel_bits();
+    let bank_lo = col_lo + geom.col_bits();
+    let row_lo = bank_lo + geom.bank_bits();
+    let bank_bits = geom.bank_bits();
+    let mut classes = TimingClasses {
+        channel: Vec::new(),
+        column: Vec::new(),
+        fold: vec![Vec::new(); bank_bits as usize],
+    };
+    for i in 0..len {
+        let abs = lo + i;
+        if abs < ch_lo || abs >= geom.addr_bits() {
+            continue;
+        }
+        if abs < col_lo {
+            classes.channel.push(i);
+        } else if abs < bank_lo {
+            classes.column.push(i);
+        } else if abs < row_lo {
+            classes.fold[(abs - bank_lo) as usize].push(i);
+        } else {
+            classes.fold[((abs - row_lo) % bank_bits) as usize].push(i);
+        }
+    }
+    classes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timing_classes_partition_hbm2() {
+        let g = Geometry::hbm2_8gb();
+        // Window [6, 21): channel [6,11), col [11,13), bank [13,17),
+        // rows 17..21 folding onto classes 0..4.
+        let c = timing_classes(g, 6, 15);
+        assert_eq!(c.channel, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.column, vec![5, 6]);
+        assert_eq!(c.fold.len(), 4);
+        assert_eq!(c.fold[0], vec![7, 11]);
+        assert_eq!(c.fold[1], vec![8, 12]);
+        assert_eq!(c.fold[2], vec![9, 13]);
+        assert_eq!(c.fold[3], vec![10, 14]);
+        // Every window bit lands in exactly one class.
+        let total = c.channel.len() + c.column.len() + c.fold.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn timing_classes_ignore_bits_outside_device_fields() {
+        let g = Geometry::hbm2_8gb();
+        // Window [0, 40) spills below the line offset and past addr_bits.
+        let c = timing_classes(g, 0, 40);
+        let total = c.channel.len() + c.column.len() + c.fold.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(total, (g.addr_bits() - g.line_bits()) as usize);
+        assert_eq!(c.channel, vec![6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn timing_canonical_identity_is_fixed_point() {
+        let g = Geometry::hbm2_8gb();
+        let p = BitPermutation::identity(6, 15);
+        assert_eq!(p.timing_canonical(g), p);
+    }
+
+    #[test]
+    fn timing_canonical_is_idempotent_and_class_preserving() {
+        let g = Geometry::hbm2_8gb();
+        let mut table: Vec<u32> = (0..15).collect();
+        table.reverse();
+        let p = BitPermutation::new(6, table).unwrap();
+        let c = p.timing_canonical(g);
+        assert_eq!(c.timing_canonical(g), c);
+        // Canonicalization only reorders sources *within* a timing
+        // class: the multiset of sources feeding each class is intact,
+        // and within each class the canonical assignment is ascending.
+        let classes = timing_classes(g, 6, 15);
+        let mut groups: Vec<&[u32]> = vec![&classes.channel, &classes.column];
+        groups.extend(classes.fold.iter().map(|v| v.as_slice()));
+        for dests in groups {
+            let mut orig: Vec<u32> = dests.iter().map(|&d| p.table()[d as usize]).collect();
+            orig.sort_unstable();
+            let canon: Vec<u32> = dests.iter().map(|&d| c.table()[d as usize]).collect();
+            assert_eq!(orig, canon, "class {dests:?}");
+        }
+    }
+
+    #[test]
+    fn timing_canonical_merges_indistinguishable_permutations() {
+        let g = Geometry::hbm2_8gb();
+        // Swapping two channel destinations is invisible to timing.
+        let mut a: Vec<u32> = (0..15).collect();
+        a.swap(0, 1);
+        let p = BitPermutation::new(6, a).unwrap();
+        let id = BitPermutation::identity(6, 15);
+        assert_eq!(p.timing_canonical(g), id.timing_canonical(g));
+        // Swapping a channel destination with a column destination is
+        // observable and must survive canonicalization.
+        let mut b: Vec<u32> = (0..15).collect();
+        b.swap(0, 5);
+        let q = BitPermutation::new(6, b).unwrap();
+        assert_ne!(q.timing_canonical(g), id.timing_canonical(g));
+    }
 
     #[test]
     fn rejects_invalid_tables() {

@@ -1,0 +1,151 @@
+//! Recovery reports and their stable JSON form.
+
+use crate::Calibrator;
+
+/// One recovered function within a target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionReport {
+    /// Which function: `"amu-permutation"`, `"channel-hash"`, or
+    /// `"bank-fold"`.
+    pub function: String,
+    /// A compact human-readable rendering of the recovered value
+    /// (permutation table, source sets, or fold classes).
+    pub recovered: String,
+    /// Binary unknowns this recovery pinned down: window length for a
+    /// permutation source classification, candidate columns ×
+    /// channel width for a hash, classified row bits for a fold.
+    pub bits: u32,
+    /// Accesses this function's recovery issued.
+    pub probes: u64,
+    /// Validation agreement in `[0, 1]`.
+    pub confidence: f64,
+    /// Whether the harness's ground-truth comparison found the
+    /// recovery exact (`None` before comparison — the agent itself
+    /// never sees the truth).
+    pub exact: Option<bool>,
+}
+
+/// Everything one target's probe session produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The suite name of the target.
+    pub target: String,
+    /// The trained latency thresholds.
+    pub calibration: Calibrator,
+    /// Per-function results, in recovery order.
+    pub functions: Vec<FunctionReport>,
+}
+
+impl RecoveryReport {
+    /// Total accesses across all functions (calibration included in
+    /// each function's count).
+    pub fn total_probes(&self) -> u64 {
+        self.functions.iter().map(|f| f.probes).sum()
+    }
+
+    /// Whether every compared function was exact (functions never
+    /// compared count as not exact).
+    pub fn all_exact(&self) -> bool {
+        !self.functions.is_empty() && self.functions.iter().all(|f| f.exact == Some(true))
+    }
+
+    /// A stable, hand-rolled JSON rendering: fixed key order, no
+    /// floating-point noise (confidence at four decimals), suitable for
+    /// golden fixtures.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"target\":{},\"calibration\":{{\"hit\":{},\"closed\":{},\"conflict_floor\":{},\"separable\":{}}},\"total_probes\":{},\"functions\":[",
+            json_string(&self.target),
+            self.calibration.hit_latency(),
+            self.calibration.closed_latency(),
+            self.calibration.conflict_floor(),
+            self.calibration.separable(),
+            self.total_probes(),
+        ));
+        for (i, f) in self.functions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let exact = match f.exact {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "null",
+            };
+            out.push_str(&format!(
+                "{{\"function\":{},\"recovered\":{},\"bits\":{},\"probes\":{},\"confidence\":{:.4},\"exact\":{}}}",
+                json_string(&f.function),
+                json_string(&f.recovered),
+                f.bits,
+                f.probes,
+                f.confidence,
+                exact,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the strings here are ASCII
+/// identifiers and bracketed number lists).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProbeTarget;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        struct T(u64);
+        impl ProbeTarget for T {
+            fn probe_bits(&self) -> u32 {
+                8
+            }
+            fn settle(&mut self) {
+                self.0 = 0;
+            }
+            fn access(&mut self, _va: u64) -> u64 {
+                self.0 += 1;
+                if self.0 == 1 {
+                    32
+                } else {
+                    18
+                }
+            }
+        }
+        let cal = Calibrator::train(&mut T(0));
+        let report = RecoveryReport {
+            target: "dm\"id".into(),
+            calibration: cal,
+            functions: vec![FunctionReport {
+                function: "bank-fold".into(),
+                recovered: "[0,1]".into(),
+                bits: 2,
+                probes: 19,
+                confidence: 1.0,
+                exact: Some(true),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"target\":\"dm\\\"id\""));
+        assert!(json.contains("\"confidence\":1.0000"));
+        assert!(json.contains("\"total_probes\":19"));
+        assert_eq!(json, report.clone().to_json(), "rendering must be pure");
+    }
+}

@@ -1,0 +1,54 @@
+//! The attacker's only window into the system.
+
+use sdam_hbm::Cycle;
+
+/// An opaque memory system under probe.
+///
+/// This is the *entire* interface the recovery [`Agent`](crate::Agent)
+/// is allowed to touch: issue a read at a virtual offset, observe its
+/// latency, and ask for an idle gap. There is intentionally no way to
+/// reach the mapping, the CMT, or any decoded address through this
+/// trait — an `&mut dyn ProbeTarget` has no escape hatch, which is what
+/// makes the recovery genuinely black-box.
+///
+/// Implementations route `access` through their real translation and
+/// scheduling path (for the simulator: VA→PA→CMT/AMU→controller bank
+/// hash→FR-FCFS) and return the request's completion latency in device
+/// cycles.
+pub trait ProbeTarget: Send {
+    /// Number of low virtual-address bits the agent may vary. Offsets
+    /// are masked to this width; everything above is fixed by the
+    /// target (its probe region placement).
+    fn probe_bits(&self) -> u32;
+
+    /// Inserts an idle gap long enough that the next access observes a
+    /// device with no row open and no refresh debt — the boundary
+    /// between two experiments.
+    fn settle(&mut self);
+
+    /// Issues one read at virtual offset `va` (line-aligned by
+    /// convention) and returns its latency in cycles.
+    fn access(&mut self, va: u64) -> Cycle;
+}
+
+/// Builds fresh, identically-configured probe targets.
+///
+/// The deterministic parallel executor gives every worker thread its
+/// own target, so a factory must produce targets whose per-experiment
+/// timing is identical across instances (each experiment starts with
+/// [`ProbeTarget::settle`], so absolute time never leaks into a
+/// latency).
+pub trait TargetFactory: Sync {
+    /// Builds one fresh target.
+    fn build(&self) -> Box<dyn ProbeTarget>;
+}
+
+impl<F, T> TargetFactory for F
+where
+    F: Fn() -> T + Sync,
+    T: ProbeTarget + 'static,
+{
+    fn build(&self) -> Box<dyn ProbeTarget> {
+        Box::new(self())
+    }
+}

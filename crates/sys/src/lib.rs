@@ -43,9 +43,11 @@ pub mod cache;
 pub mod error;
 pub mod machine;
 pub mod path;
+pub mod probe;
 
 pub use adapt::{AdaptConfig, AdaptReport, ChunkTraffic, MigrationPlan, RemapController};
 pub use cache::{Cache, CacheConfig};
 pub use error::ConfigError;
 pub use machine::{safe_speedup, ExecutionReport, Machine, MachineConfig};
 pub use path::{MappingEngine, TranslationCache, TranslationStats};
+pub use probe::EngineTarget;

@@ -41,6 +41,7 @@ pub mod churn;
 pub mod datacopy;
 pub mod graph;
 pub mod phased;
+pub mod probe_replay;
 pub mod recorder;
 pub mod sparse;
 pub mod stream;

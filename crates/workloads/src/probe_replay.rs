@@ -1,0 +1,107 @@
+//! The reverse-engineering agent's probe pattern as an ordinary
+//! workload.
+//!
+//! `sdam-probe`'s agent issues a very particular address stream:
+//! pair experiments that return to a base address and flip single
+//! window bits, anchor pairs that XOR a high pass-through bit onto the
+//! flip, and a pseudorandom validation sweep. As a *workload*, that
+//! stream is adversarial for mapping selection — its bit-flip deltas
+//! touch every address bit with equal frequency, so its BFRV is nearly
+//! flat and no permutation looks better than any other. Feeding it
+//! through the regular pipeline checks that the profiling and
+//! selection stages degrade gracefully on exactly the traffic the
+//! probing harness generates.
+
+use sdam_trace::Trace;
+
+use crate::{Recorder, Scale, Workload};
+
+/// Line-index bits of the replayed probe window (a 2^25-byte region of
+/// 64-byte lines — the SDAM probe region for a 21-bit chunk on
+/// `hbm2_8gb`).
+const WINDOW_BITS: u32 = 19;
+
+/// Anchor bits replayed per flip (one per fold class on `hbm2_8gb`).
+const ANCHORS: u32 = 4;
+
+/// Replays the probing agent's address sequence — single-bit-flip
+/// pairs, anchor pairs, and an LCG validation sweep — over one flat
+/// allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeReplay;
+
+/// The same odd-constant mix the agent's validator uses — cheap,
+/// deterministic, and full-period over the window.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Workload for ProbeReplay {
+    fn name(&self) -> &str {
+        "probe-replay"
+    }
+
+    fn generate(&self, scale: Scale) -> Trace {
+        let lines = 1usize << WINDOW_BITS;
+        let mask = (lines - 1) as u64;
+        let mut rec = Recorder::with_capacity(scale.accesses);
+        let region = rec.alloc(lines, 64);
+        let mut state = scale.seed;
+        'outer: while rec.len() < scale.accesses {
+            for bit in 0..WINDOW_BITS {
+                // The single-flip pair: base, then base with one
+                // window bit flipped (column vs everything-else).
+                rec.read(region, 0);
+                rec.read(region, 1usize << bit);
+                // Anchor pairs: the flip XOR one high pass-through bit
+                // per fold class.
+                for k in 0..ANCHORS {
+                    let anchor = 1usize << (WINDOW_BITS - ANCHORS + k);
+                    rec.read(region, 0);
+                    rec.read(region, (1usize << bit) ^ anchor);
+                }
+                if rec.len() >= scale.accesses {
+                    break 'outer;
+                }
+            }
+            // The validation sweep: pseudorandom deltas off the base.
+            for _ in 0..64 {
+                state = splitmix(state);
+                rec.read(region, 0);
+                rec.read(region, (state & mask) as usize);
+                if rec.len() >= scale.accesses {
+                    break 'outer;
+                }
+            }
+        }
+        rec.into_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_the_requested_volume_deterministically() {
+        let w = ProbeReplay;
+        let t = w.generate(Scale::tiny());
+        assert!(t.len() >= Scale::tiny().accesses);
+        assert_eq!(t, w.generate(Scale::tiny()));
+        assert_ne!(t, w.generate(Scale::tiny().with_seed(7)));
+    }
+
+    #[test]
+    fn pattern_is_pair_shaped() {
+        // Every other access returns to the base line: the pair
+        // protocol's signature.
+        let t = ProbeReplay.generate(Scale::tiny());
+        let addrs: Vec<u64> = t.addrs().collect();
+        let base = addrs[0];
+        let returns = addrs.iter().step_by(2).filter(|&&a| a == base).count();
+        assert!(returns * 2 >= addrs.len() / 2, "probe pairs must re-base");
+    }
+}

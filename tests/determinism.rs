@@ -253,6 +253,31 @@ fn adaptive_disabled_is_bit_identical_to_plain_run() {
 }
 
 #[test]
+fn probe_recovery_identical_serial_and_threaded() {
+    // The reverse-engineering agent's parallel executor calibrates once
+    // up front and hands each worker a self-contained experiment, so a
+    // probe session — recovered functions, probe counts, confidence,
+    // the full JSON report — must be bit-identical between the serial
+    // agent and any thread count.
+    let suite = sdam::probing::seeded_suite().expect("suite definition must compile");
+    for name in ["dm-identity", "hm-default", "sdam-reverse"] {
+        let entry = suite
+            .iter()
+            .find(|e| e.name == name)
+            .expect("seeded suite entry");
+        let serial = entry.run(1).expect("serial recovery");
+        for threads in [2usize, 8] {
+            let par = entry.run(threads).expect("parallel recovery");
+            assert_eq!(
+                serial, par,
+                "{name}: probe session diverged at {threads} threads"
+            );
+            assert_eq!(serial.to_json(), par.to_json());
+        }
+    }
+}
+
+#[test]
 fn streamed_trace_replay_identical_serial_and_parallel() {
     // A trace serialized to the binary format and replayed off the
     // stream through the bounded-memory driver must reproduce the

@@ -1,0 +1,102 @@
+//! The mapping-recovery guard: the black-box agent must recover every
+//! mapping in the seeded suite *exactly*, from timing alone, within
+//! the committed probe-count ceilings.
+//!
+//! A golden fixture (`tests/fixtures/probe_recovery.json`) pins the
+//! full recovery reports — recovered functions, probe counts, and
+//! calibration — so a regression in either the agent or the timing
+//! model shows up as a readable line diff. Regenerate after an
+//! intentional change with:
+//!
+//! ```text
+//! SDAM_BLESS=1 cargo test --test probe_suite
+//! ```
+
+use sdam::probing::{run_seeded_suite, seeded_suite};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/probe_recovery.json")
+}
+
+/// One JSON report per line, in suite order — line diffs stay per-target.
+fn snapshot() -> String {
+    let reports = run_seeded_suite(1).expect("seeded suite must be recoverable");
+    let mut out = String::new();
+    for r in &reports {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn report_diff(want: &str, got: &str) -> String {
+    let mut out = String::new();
+    let (w_lines, g_lines): (Vec<_>, Vec<_>) = (want.lines().collect(), got.lines().collect());
+    for i in 0..w_lines.len().max(g_lines.len()) {
+        let w = w_lines.get(i).copied().unwrap_or("<eof>");
+        let g = g_lines.get(i).copied().unwrap_or("<eof>");
+        if w != g {
+            out.push_str(&format!("line {:>4}: - {w}\n           + {g}\n", i + 1));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_seeded_mapping_is_recovered_exactly_within_the_ceiling() {
+    let suite = seeded_suite().expect("suite definition must compile");
+    for entry in &suite {
+        let report = entry
+            .run(1)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert!(
+            report.all_exact(),
+            "{}: recovery not exact: {}",
+            entry.name,
+            report.to_json()
+        );
+        assert!(
+            report.total_probes() <= entry.probe_ceiling(),
+            "{}: {} probes exceed the committed ceiling of {}",
+            entry.name,
+            report.total_probes(),
+            entry.probe_ceiling()
+        );
+        for f in &report.functions {
+            assert!(
+                f.confidence >= 0.999,
+                "{}: {} validated at only {}",
+                entry.name,
+                f.function,
+                f.confidence
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_reports_match_the_committed_fixture() {
+    let got = snapshot();
+    let path = fixture_path();
+    if std::env::var("SDAM_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("fixture has a parent dir")).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run `SDAM_BLESS=1 cargo test --test probe_suite` \
+             to create the fixture",
+            path.display()
+        )
+    });
+    assert!(
+        want == got,
+        "recovery reports diverged from the committed fixture ({}).\n\
+         If the change is intentional, regenerate with \
+         `SDAM_BLESS=1 cargo test --test probe_suite`.\n{}",
+        path.display(),
+        report_diff(&want, &got)
+    );
+}
